@@ -1,0 +1,107 @@
+// Command dejavuzz runs a DejaVuzz fuzzing campaign against one of the
+// modelled out-of-order cores and reports discovered transient-execution
+// leaks.
+//
+// Usage:
+//
+//	dejavuzz [-core boom|xiangshan] [-n iterations] [-seed N] [-workers N]
+//	         [-variant derived|random] [-no-feedback] [-no-liveness]
+//	         [-no-reduction] [-bugless] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dejavuzz"
+	"dejavuzz/internal/core"
+)
+
+func main() {
+	coreName := flag.String("core", "boom", "design under test: boom or xiangshan")
+	n := flag.Int("n", 200, "fuzzing iterations")
+	seed := flag.Int64("seed", 1, "campaign RNG seed")
+	workers := flag.Int("workers", 1, "parallel simulation workers")
+	variant := flag.String("variant", "derived", "training strategy: derived (DejaVuzz) or random (DejaVuzz*)")
+	noFeedback := flag.Bool("no-feedback", false, "disable taint-coverage feedback (DejaVuzz-)")
+	noLiveness := flag.Bool("no-liveness", false, "disable tainted-sink liveness analysis")
+	noReduction := flag.Bool("no-reduction", false, "disable training reduction")
+	bugless := flag.Bool("bugless", false, "disable the injected bugs (regression baseline)")
+	verbose := flag.Bool("v", false, "print per-iteration statistics")
+	repro := flag.String("repro", "", "replay a serialised finding seed (JSON) instead of fuzzing")
+	flag.Parse()
+
+	cfg := dejavuzz.Config{
+		Seed:                    *seed,
+		Iterations:              *n,
+		Workers:                 *workers,
+		DisableCoverageFeedback: *noFeedback,
+		DisableLiveness:         *noLiveness,
+		DisableReduction:        *noReduction,
+		Bugless:                 *bugless,
+	}
+	switch strings.ToLower(*coreName) {
+	case "boom":
+		cfg.Core = dejavuzz.BOOM
+	case "xiangshan", "xs":
+		cfg.Core = dejavuzz.XiangShan
+	default:
+		fmt.Fprintf(os.Stderr, "unknown core %q\n", *coreName)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*variant) {
+	case "derived":
+		cfg.Variant = dejavuzz.Derived
+	case "random":
+		cfg.Variant = dejavuzz.RandomTraining
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	if *repro != "" {
+		seed, err := core.DecodeSeed(*repro)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts := core.DefaultOptions(seed.Core)
+		opts.Bugless = *bugless
+		rr, err := core.NewFuzzer(opts).Reproduce(seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("reproduce: triggered=%v taint-gain=%v TO=%d ETO=%d sims=%d\n",
+			rr.Triggered, rr.TaintGain, rr.TO, rr.ETO, rr.Sims)
+		if rr.Finding != nil {
+			fmt.Printf("finding: %v\n", rr.Finding)
+		} else {
+			fmt.Println("finding: none")
+		}
+		return
+	}
+
+	f := dejavuzz.New(cfg)
+	rep := f.Run()
+
+	if *verbose {
+		for _, it := range rep.Iters {
+			fmt.Printf("iter=%-4d trigger=%-28v triggered=%-5v gain=%-5v newpts=%-3d cov=%-4d finding=%v\n",
+				it.Iteration, it.Trigger, it.Triggered, it.TaintGain, it.NewPoints, it.Coverage, it.Finding)
+		}
+	}
+	fmt.Printf("core=%v iterations=%d sims=%d duration=%v\n",
+		cfg.Core, *n, rep.Sims, rep.Duration.Round(1e6))
+	fmt.Printf("taint coverage points: %d\n", rep.Coverage)
+	fmt.Printf("findings: %d (liveness-suppressed false positives: %d)\n",
+		len(rep.Findings), rep.DeadSinks)
+	for i, fi := range rep.Findings {
+		fmt.Printf("  [%d] %v\n      repro-seed: %s\n", i+1, &fi, core.EncodeSeed(fi.Seed))
+	}
+	if len(rep.Findings) > 0 {
+		fmt.Printf("first finding after ~%v\n", rep.FirstBug.Round(1e6))
+	}
+}

@@ -1,0 +1,85 @@
+// Command dvz-experiments regenerates the paper's evaluation tables and
+// figures on the Go reproduction stack.
+//
+// Usage:
+//
+//	dvz-experiments table2
+//	dvz-experiments table3  [-samples N] [-seed N]
+//	dvz-experiments table4  [-budget DUR] [-cycles N]
+//	dvz-experiments figure6 [-cycles N] [-csv]
+//	dvz-experiments figure7 [-iters N] [-trials N] [-seed N] [-csv]
+//	dvz-experiments table5  [-iters N] [-seed N]
+//	dvz-experiments liveness [-positives N] [-seed N]
+//	dvz-experiments all      (reduced-scale run of everything)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dejavuzz/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	samples := fs.Int("samples", 10, "phase-1 attempts per Table 3 cell")
+	seed := fs.Int64("seed", 1, "experiment RNG seed")
+	budget := fs.Duration("budget", 3*time.Second, "CellIFT instrumentation budget (Table 4)")
+	cycles := fs.Int("cycles", 8000, "simulation cycle budget")
+	iters := fs.Int("iters", 300, "fuzzing iterations")
+	trials := fs.Int("trials", 5, "figure 7 trials")
+	positives := fs.Int("positives", 75, "SpecDoctor phase-3 positives to collect")
+	csv := fs.Bool("csv", false, "emit raw CSV series")
+	fs.Parse(os.Args[2:])
+
+	w := os.Stdout
+	switch cmd {
+	case "table2":
+		experiments.Table2(w)
+	case "table3":
+		experiments.Table3(w, *samples, *seed)
+	case "table4":
+		experiments.Table4(w, *budget, *cycles)
+	case "figure6":
+		series := experiments.Figure6(w, *cycles)
+		if *csv {
+			experiments.Figure6CSV(w, series)
+		}
+	case "figure7":
+		series := experiments.Figure7(w, *iters, *trials, *seed)
+		if *csv {
+			experiments.Figure7CSV(w, series)
+		}
+	case "table5":
+		experiments.Table5(w, *iters, *seed)
+	case "liveness":
+		experiments.Liveness(w, *positives, *seed)
+	case "all":
+		experiments.Table2(w)
+		fmt.Fprintln(w)
+		experiments.Table3(w, 5, *seed)
+		fmt.Fprintln(w)
+		experiments.Table4(w, *budget, 4000)
+		fmt.Fprintln(w)
+		experiments.Figure6(w, 4000)
+		fmt.Fprintln(w)
+		experiments.Figure7(w, 60, 2, *seed)
+		fmt.Fprintln(w)
+		experiments.Table5(w, 120, *seed)
+		fmt.Fprintln(w)
+		experiments.Liveness(w, 30, *seed)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dvz-experiments {table2|table3|table4|figure6|figure7|table5|liveness|all} [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,48 @@
+// Command dvzasm assembles the repository's RV64 subset and prints the
+// encoded words with disassembly — a debugging aid for stimulus authors.
+//
+// Usage:
+//
+//	dvzasm [-base ADDR] file.s    (or stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dejavuzz/internal/isa"
+)
+
+func main() {
+	base := flag.Uint64("base", 0x4000, "image base address")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := isa.Asm(*base, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, w := range p.Words {
+		addr := p.Base + uint64(4*i)
+		fmt.Printf("%#010x: %08x  %s\n", addr, w, isa.Decode(w))
+	}
+	if len(p.Labels) > 0 {
+		fmt.Println("labels:")
+		for name, addr := range p.Labels {
+			fmt.Printf("  %-16s %#x\n", name, addr)
+		}
+	}
+}

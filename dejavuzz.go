@@ -1,0 +1,116 @@
+// Package dejavuzz is a pure-Go reproduction of "DejaVuzz: Disclosing
+// Transient Execution Bugs with Dynamic Swappable Memory and Differential
+// Information Flow Tracking Assisted Processor Fuzzing" (ASPLOS 2025).
+//
+// It provides a pre-silicon transient-execution-bug fuzzer built on two
+// operating primitives:
+//
+//   - dynamic swappable memory (swapMem), which time-shares one address
+//     space between training and transient instruction sequences, and
+//   - differential information flow tracking (diffIFT), which gates control
+//     taints on cross-instance differences to defeat control-flow
+//     over-tainting.
+//
+// The fuzzer runs against cycle-accurate models of two out-of-order RISC-V
+// cores (a SmallBOOM-like and a XiangShan-MinimalConfig-like configuration)
+// that implement real speculative execution, caches, TLBs, branch
+// prediction, and the five published vulnerabilities (B1-B5).
+//
+// Quick start:
+//
+//	f := dejavuzz.New(dejavuzz.Config{Core: dejavuzz.BOOM, Iterations: 100})
+//	report := f.Run()
+//	for _, leak := range report.Findings {
+//		fmt.Println(leak)
+//	}
+package dejavuzz
+
+import (
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+// CoreKind selects the design under test.
+type CoreKind = uarch.CoreKind
+
+// The two evaluated cores.
+const (
+	BOOM      = uarch.KindBOOM
+	XiangShan = uarch.KindXiangShan
+)
+
+// Variant selects the training strategy.
+type Variant = gen.Variant
+
+// Training strategies: Derived is DejaVuzz proper, RandomTraining is the
+// DejaVuzz* ablation.
+const (
+	Derived        = gen.VariantDerived
+	RandomTraining = gen.VariantRandom
+)
+
+// Finding is a reported potential transient-execution vulnerability.
+type Finding = core.Finding
+
+// Report is the result of a fuzzing campaign.
+type Report = core.Report
+
+// TriggerType enumerates the transient-window trigger classes.
+type TriggerType = gen.TriggerType
+
+// Config configures a fuzzing campaign. Zero values select sensible
+// defaults (BOOM core, derived training, all analyses enabled).
+type Config struct {
+	// Core is the design under test (BOOM or XiangShan).
+	Core CoreKind
+	// Seed is the campaign's RNG seed.
+	Seed int64
+	// Iterations is the number of fuzzing iterations to run.
+	Iterations int
+	// Workers sets the number of parallel simulation workers.
+	Workers int
+	// Variant selects Derived (DejaVuzz) or RandomTraining (DejaVuzz*).
+	Variant Variant
+	// DisableCoverageFeedback yields the DejaVuzz− ablation.
+	DisableCoverageFeedback bool
+	// DisableLiveness disables tainted-sink liveness filtering.
+	DisableLiveness bool
+	// DisableReduction disables training reduction.
+	DisableReduction bool
+	// Bugless disables the injected bugs (regression baseline).
+	Bugless bool
+}
+
+// Fuzzer is the DejaVuzz fuzzing pipeline.
+type Fuzzer struct {
+	inner *core.Fuzzer
+}
+
+// New constructs a fuzzer from the configuration.
+func New(cfg Config) *Fuzzer {
+	opts := core.DefaultOptions(cfg.Core)
+	if cfg.Seed != 0 {
+		opts.Seed = cfg.Seed
+	}
+	if cfg.Iterations > 0 {
+		opts.Iterations = cfg.Iterations
+	}
+	if cfg.Workers > 0 {
+		opts.Workers = cfg.Workers
+	}
+	opts.Variant = cfg.Variant
+	opts.UseCoverageFeedback = !cfg.DisableCoverageFeedback
+	opts.UseLiveness = !cfg.DisableLiveness
+	opts.UseReduction = !cfg.DisableReduction
+	opts.Bugless = cfg.Bugless
+	return &Fuzzer{inner: core.NewFuzzer(opts)}
+}
+
+// Run executes the campaign: every iteration walks the paper's three phases
+// (transient window triggering, transient execution exploration, transient
+// leakage analysis) and contributes to the shared taint-coverage matrix.
+func (f *Fuzzer) Run() *Report { return f.inner.Run() }
+
+// Coverage returns the current number of taint-coverage points.
+func (f *Fuzzer) Coverage() int { return f.inner.Coverage().Count() }

@@ -1,0 +1,37 @@
+package dejavuzz
+
+import "testing"
+
+func TestFacadeDefaults(t *testing.T) {
+	f := New(Config{Core: BOOM, Iterations: 10, Seed: 5})
+	rep := f.Run()
+	if len(rep.Iters) != 10 {
+		t.Fatalf("iterations = %d, want 10", len(rep.Iters))
+	}
+	if f.Coverage() != rep.Coverage {
+		t.Errorf("facade coverage %d != report coverage %d", f.Coverage(), rep.Coverage)
+	}
+}
+
+func TestFacadeVariantsAndAblations(t *testing.T) {
+	for _, cfg := range []Config{
+		{Core: XiangShan, Iterations: 4, Seed: 2},
+		{Core: BOOM, Iterations: 4, Seed: 3, Variant: RandomTraining},
+		{Core: BOOM, Iterations: 4, Seed: 4, DisableCoverageFeedback: true},
+		{Core: BOOM, Iterations: 4, Seed: 5, DisableLiveness: true, DisableReduction: true},
+		{Core: BOOM, Iterations: 4, Seed: 6, Bugless: true},
+	} {
+		rep := New(cfg).Run()
+		if len(rep.Iters) != cfg.Iterations {
+			t.Errorf("%+v: ran %d iterations", cfg, len(rep.Iters))
+		}
+	}
+}
+
+func TestFacadeWorkers(t *testing.T) {
+	f := New(Config{Core: BOOM, Iterations: 12, Seed: 9, Workers: 4})
+	rep := f.Run()
+	if len(rep.Iters) != 12 {
+		t.Fatalf("iterations = %d, want 12", len(rep.Iters))
+	}
+}

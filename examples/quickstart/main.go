@@ -1,0 +1,40 @@
+// Quickstart: fuzz the BOOM-like core for transient-execution leaks using
+// the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dejavuzz"
+)
+
+func main() {
+	fmt.Println("DejaVuzz quickstart: fuzzing the SmallBOOM-like core")
+
+	f := dejavuzz.New(dejavuzz.Config{
+		Core:       dejavuzz.BOOM,
+		Seed:       2024,
+		Iterations: 60,
+	})
+	report := f.Run()
+
+	fmt.Printf("\n%d iterations, %d RTL simulations, %v wall time\n",
+		len(report.Iters), report.Sims, report.Duration.Round(1e6))
+	fmt.Printf("taint coverage points collected: %d\n", report.Coverage)
+	fmt.Printf("liveness analysis suppressed %d unexploitable taint reports\n\n", report.DeadSinks)
+
+	if len(report.Findings) == 0 {
+		fmt.Println("no leaks found (try more iterations)")
+		return
+	}
+	fmt.Printf("potential transient execution vulnerabilities (%d):\n", len(report.Findings))
+	for i, leak := range report.Findings {
+		fmt.Printf("  %2d. %-8s %-13s window=%v\n      encoded into: %v\n",
+			i+1, leak.AttackType, leak.Kind, leak.Window, leak.Components)
+		if len(leak.BugLabels) > 0 {
+			fmt.Printf("      mechanism witnesses: %v\n", leak.BugLabels)
+		}
+	}
+}

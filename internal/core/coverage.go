@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dejavuzz/internal/uarch"
+)
+
+// covSlots is the per-module bitmap size: tainted-element counts clamp here.
+const covSlots = 256
+
+type covKey struct {
+	module string
+	count  int
+}
+
+// Coverage is the taint coverage matrix (§4.2.2): every (module,
+// tainted-element-count) pair observed during a transient window is one
+// coverage point. It is locality-aware (module-level) and
+// position-insensitive (counts, not slots).
+type Coverage struct {
+	mu     sync.Mutex
+	points map[covKey]struct{}
+}
+
+// NewCoverage returns an empty matrix.
+func NewCoverage() *Coverage {
+	return &Coverage{points: make(map[covKey]struct{})}
+}
+
+// AddFromLog folds a taint log into the matrix and returns how many new
+// coverage points it contributed.
+func (c *Coverage) AddFromLog(log []uarch.TaintSample) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, s := range log {
+		if s.Tainted == 0 {
+			continue
+		}
+		n := s.Tainted
+		if n >= covSlots {
+			n = covSlots - 1
+		}
+		k := covKey{module: s.Module, count: n}
+		if _, ok := c.points[k]; !ok {
+			c.points[k] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// Count returns the number of collected coverage points.
+func (c *Coverage) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points)
+}
+
+// Modules lists modules with at least one coverage point, sorted.
+func (c *Coverage) Modules() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[string]bool{}
+	for k := range c.points {
+		seen[k.module] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+func TestCoverageMatrixSemantics(t *testing.T) {
+	c := NewCoverage()
+	log := []uarch.TaintSample{
+		{Cycle: 1, Module: "dcache", Tainted: 2, Bits: 128},
+		{Cycle: 2, Module: "dcache", Tainted: 2, Bits: 128}, // duplicate point
+		{Cycle: 2, Module: "dcache", Tainted: 3, Bits: 192}, // new count
+		{Cycle: 2, Module: "rob", Tainted: 2, Bits: 64},     // new module
+		{Cycle: 3, Module: "rob", Tainted: 0, Bits: 0},      // zero: ignored
+	}
+	if got := c.AddFromLog(log); got != 3 {
+		t.Fatalf("AddFromLog = %d, want 3", got)
+	}
+	if c.Count() != 3 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	// Re-adding contributes nothing: position-insensitivity over time.
+	if got := c.AddFromLog(log); got != 0 {
+		t.Fatalf("second AddFromLog = %d, want 0", got)
+	}
+	mods := c.Modules()
+	if len(mods) != 2 || mods[0] != "dcache" || mods[1] != "rob" {
+		t.Fatalf("Modules = %v", mods)
+	}
+}
+
+func TestCoverageClampsLargeCounts(t *testing.T) {
+	c := NewCoverage()
+	c.AddFromLog([]uarch.TaintSample{{Module: "m", Tainted: 10_000}})
+	if got := c.AddFromLog([]uarch.TaintSample{{Module: "m", Tainted: 20_000}}); got != 0 {
+		t.Fatalf("clamped counts must collapse to one point, got %d new", got)
+	}
+}
+
+// TestLivenessAblationCounts: disabling liveness must flag at least as many
+// "findings" (it stops filtering dead sinks), reproducing the §6.3
+// misclassification effect.
+func TestLivenessAblationCounts(t *testing.T) {
+	run := func(useLiveness bool) (findings, dead int) {
+		opts := DefaultOptions(uarch.KindBOOM)
+		opts.Iterations = 20
+		opts.Seed = 77
+		opts.UseLiveness = useLiveness
+		rep := NewFuzzer(opts).Run()
+		return len(rep.Findings), rep.DeadSinks
+	}
+	withF, withDead := run(true)
+	withoutF, withoutDead := run(false)
+	if withoutF < withF {
+		t.Errorf("no-liveness flagged fewer cases (%d) than liveness (%d)", withoutF, withF)
+	}
+	if withoutDead != 0 {
+		t.Errorf("no-liveness ablation still suppressed %d dead-sink cases", withoutDead)
+	}
+	_ = withDead
+}
+
+// TestReductionAblation: without training reduction the kept schedule must
+// carry at least as much training overhead.
+func TestReductionAblation(t *testing.T) {
+	seedVal := int64(13)
+	measure := func(useReduction bool) float64 {
+		opts := DefaultOptions(uarch.KindBOOM)
+		opts.Seed = seedVal
+		opts.UseReduction = useReduction
+		f := NewFuzzer(opts)
+		st := f.MeasureTraining(gen.TrigBranchMispred, gen.VariantDerived, 4)
+		if !st.Triggerable() {
+			t.Fatal("branch windows not triggerable")
+		}
+		return st.AvgTO
+	}
+	reduced := measure(true)
+	raw := measure(false)
+	if raw < reduced {
+		t.Fatalf("unreduced training overhead %.1f below reduced %.1f", raw, reduced)
+	}
+	if raw == reduced {
+		t.Log("reduction removed nothing on this seed (decoys already absent)")
+	}
+}
+
+func TestRotateSecret(t *testing.T) {
+	base := []byte{1, 2, 3, 4}
+	if got := rotateSecret(base, 0); &got[0] != &base[0] {
+		// attempt 0 returns the base unchanged (same backing array ok too)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatal("attempt 0 changed the secret")
+			}
+		}
+	}
+	a1 := rotateSecret(base, 1)
+	a2 := rotateSecret(base, 2)
+	same1, same2 := 0, 0
+	for i := range base {
+		if a1[i] == base[i] {
+			same1++
+		}
+		if a2[i] == a1[i] {
+			same2++
+		}
+	}
+	if same1 == len(base) || same2 == len(base) {
+		t.Fatal("secret rotation produced identical pairs")
+	}
+}

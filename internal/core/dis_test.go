@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+// TestDisambigWindowEncodes: memory-disambiguation windows must propagate
+// and encode the secret reachable through the stale pointer.
+func TestDisambigWindowEncodes(t *testing.T) {
+	f := NewFuzzer(DefaultOptions(uarch.KindBOOM))
+	gains, findings := 0, 0
+	for i := 0; i < 10; i++ {
+		seed := f.gen.SeedFor(uarch.KindBOOM, gen.TrigMemDisambig, gen.VariantDerived)
+		p1, err := f.Phase1(seed)
+		if err != nil || !p1.Triggered {
+			continue
+		}
+		p2, err := f.Phase2(p1)
+		if err != nil || !p2.TaintGain {
+			continue
+		}
+		gains++
+		p3, err := f.Phase3(p1, p2)
+		if err == nil && p3.Finding != nil {
+			findings++
+		}
+	}
+	if gains == 0 {
+		t.Fatal("no taint gain on any disambiguation window")
+	}
+	if findings == 0 {
+		t.Fatal("no leak findings from disambiguation windows")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	Core       uarch.CoreKind
+	Seed       int64
+	Iterations int
+	Workers    int
+	MaxCycles  int
+
+	// Variant selects derived (DejaVuzz) or random (DejaVuzz*) training.
+	Variant gen.Variant
+	// UseCoverageFeedback drives mutation from the taint coverage matrix;
+	// disabling it yields the DejaVuzz− ablation of Figure 7.
+	UseCoverageFeedback bool
+	// UseLiveness enables tainted-sink liveness filtering (§4.3.2); the
+	// ablation without it reproduces the misclassification counts of §6.3.
+	UseLiveness bool
+	// UseReduction enables training reduction (Step 1.2).
+	UseReduction bool
+	// Bugless disables the injected bugs in the core configuration
+	// (regression baseline).
+	Bugless bool
+	// SecretRetries is how many secret pairs Phase 2 tries before declaring
+	// no taint gain — the paper's §7 mitigation for diffIFT false negatives
+	// (a secret pair can coincide on a control signal). swapMem's dedicated
+	// region makes retrying cheap: only the secret is reloaded.
+	SecretRetries int
+}
+
+// DefaultOptions returns the standard DejaVuzz configuration.
+func DefaultOptions(core uarch.CoreKind) Options {
+	return Options{
+		Core:                core,
+		Seed:                1,
+		Iterations:          100,
+		Workers:             1,
+		MaxCycles:           20000,
+		Variant:             gen.VariantDerived,
+		UseCoverageFeedback: true,
+		UseLiveness:         true,
+		UseReduction:        true,
+		SecretRetries:       2,
+	}
+}
+
+// IterStat records one fuzzing iteration's outcome (Figure 7's x-axis unit).
+type IterStat struct {
+	Iteration int
+	Trigger   gen.TriggerType
+	Triggered bool
+	TaintGain bool
+	NewPoints int
+	Coverage  int // cumulative coverage after this iteration
+	Sims      int
+	Finding   bool
+}
+
+// Report is a fuzzing campaign's result.
+type Report struct {
+	Options   Options
+	Findings  []Finding
+	Iters     []IterStat
+	Coverage  int
+	Sims      int
+	Duration  time.Duration
+	FirstBug  time.Duration // time to first finding (0 if none)
+	DeadSinks int           // findings suppressed by liveness analysis
+}
+
+// CoverageHistory returns cumulative coverage per iteration (Figure 7 series).
+func (r *Report) CoverageHistory() []int {
+	out := make([]int, len(r.Iters))
+	for i, s := range r.Iters {
+		out[i] = s.Coverage
+	}
+	return out
+}
+
+// Fuzzer is the DejaVuzz fuzzing manager.
+type Fuzzer struct {
+	opts     Options
+	cfg      uarch.Config
+	gen      *gen.Generator
+	coverage *Coverage
+
+	mu        sync.Mutex
+	corpus    []gen.Seed
+	avgGain   float64
+	gainCount int
+	pending   []Finding
+	deadSinks int
+	pickCount int
+}
+
+// NewFuzzer builds a fuzzer for the options.
+func NewFuzzer(opts Options) *Fuzzer {
+	cfg := uarch.ConfigFor(opts.Core)
+	if opts.Bugless {
+		cfg.Bugs = uarch.BugSet{}
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	return &Fuzzer{
+		opts:     opts,
+		cfg:      cfg,
+		gen:      gen.New(opts.Seed),
+		coverage: NewCoverage(),
+	}
+}
+
+// Coverage exposes the live coverage matrix.
+func (f *Fuzzer) Coverage() *Coverage { return f.coverage }
+
+func (f *Fuzzer) runOpts(mode uarch.IFTMode, taintTrace bool) RunOpts {
+	return RunOpts{Cfg: f.cfg, Mode: mode, TaintTrace: taintTrace, MaxCycles: f.opts.MaxCycles}
+}
+
+// nextSeed picks the next seed: mutate a corpus member (coverage feedback)
+// or draw a fresh one.
+func (f *Fuzzer) nextSeed() gen.Seed {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.opts.UseCoverageFeedback && len(f.corpus) > 0 && f.pickCount%2 == 0 {
+		f.pickCount++
+		base := f.corpus[f.pickCount/2%len(f.corpus)]
+		return f.gen.Mutate(base)
+	}
+	f.pickCount++
+	s := f.gen.RandomSeed(f.opts.Core)
+	s.Variant = f.opts.Variant
+	return s
+}
+
+func (f *Fuzzer) feedback(seed gen.Seed, newPoints int, taintGain bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gainCount++
+	f.avgGain += (float64(newPoints) - f.avgGain) / float64(f.gainCount)
+	if !f.opts.UseCoverageFeedback {
+		return
+	}
+	// Keep seeds whose coverage gain beats the running average (the paper's
+	// "less than the average increase -> mutate / discard" rule).
+	if taintGain && float64(newPoints) >= f.avgGain {
+		f.corpus = append(f.corpus, seed)
+		if len(f.corpus) > 256 {
+			f.corpus = f.corpus[len(f.corpus)-256:]
+		}
+	}
+}
+
+// RunIteration executes one complete fuzzing iteration (all three phases).
+func (f *Fuzzer) RunIteration(iter int) IterStat {
+	stat := IterStat{Iteration: iter}
+	seed := f.nextSeed()
+	stat.Trigger = seed.Trigger
+
+	p1, err := f.Phase1(seed)
+	if err != nil {
+		return stat
+	}
+	stat.Sims += p1.Sims
+	if !p1.Triggered {
+		return stat
+	}
+	stat.Triggered = true
+
+	p2, err := f.Phase2(p1)
+	if err != nil {
+		return stat
+	}
+	stat.Sims += p2.Sims
+	stat.TaintGain = p2.TaintGain
+	stat.NewPoints = p2.NewPoints
+	f.feedback(seed, p2.NewPoints, p2.TaintGain)
+	if !p2.TaintGain {
+		return stat
+	}
+
+	p3, err := f.Phase3(p1, p2)
+	if err != nil {
+		return stat
+	}
+	stat.Sims += p3.Sims
+	if p3.Finding != nil {
+		p3.Finding.Iteration = iter
+		stat.Finding = true
+		f.mu.Lock()
+		f.pending = append(f.pending, *p3.Finding)
+		f.mu.Unlock()
+	} else if p3.DeadSinksOnly {
+		f.mu.Lock()
+		f.deadSinks++
+		f.mu.Unlock()
+	}
+	return stat
+}
+
+// Run executes the campaign and returns its report.
+func (f *Fuzzer) Run() *Report {
+	start := time.Now()
+	rep := &Report{Options: f.opts}
+	iters := make([]IterStat, f.opts.Iterations)
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < f.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				iters[i] = f.RunIteration(i)
+			}
+		}()
+	}
+	for i := 0; i < f.opts.Iterations; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	cum := 0
+	firstBug := time.Duration(0)
+	for i := range iters {
+		cum += iters[i].NewPoints
+		iters[i].Coverage = cum
+		rep.Sims += iters[i].Sims
+		if iters[i].Finding && firstBug == 0 {
+			// Approximate time-to-first-bug by proportion of wall time.
+			firstBug = time.Duration(float64(time.Since(start)) * float64(i+1) / float64(f.opts.Iterations))
+		}
+	}
+	f.mu.Lock()
+	rep.Findings = append(rep.Findings, f.pending...)
+	rep.DeadSinks = f.deadSinks
+	f.mu.Unlock()
+	rep.Iters = iters
+	rep.Coverage = f.coverage.Count()
+	rep.Duration = time.Since(start)
+	rep.FirstBug = firstBug
+	return rep
+}

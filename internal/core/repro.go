@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dejavuzz/internal/gen"
+)
+
+// EncodeSeed serialises a stimulus seed for bug reports: every finding can
+// be replayed deterministically from its seed.
+func EncodeSeed(s gen.Seed) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// DecodeSeed parses a serialised seed.
+func DecodeSeed(data string) (gen.Seed, error) {
+	var s gen.Seed
+	if err := json.Unmarshal([]byte(data), &s); err != nil {
+		return s, fmt.Errorf("core: bad seed: %w", err)
+	}
+	return s, nil
+}
+
+// ReproResult is a deterministic replay of one seed through all phases.
+type ReproResult struct {
+	Seed      gen.Seed
+	Triggered bool
+	TaintGain bool
+	Finding   *Finding
+	TO, ETO   int
+	Sims      int
+}
+
+// Reproduce replays a seed through the full three-phase pipeline — the
+// workflow a developer follows from a bug report.
+func (f *Fuzzer) Reproduce(seed gen.Seed) (*ReproResult, error) {
+	res := &ReproResult{Seed: seed}
+	p1, err := f.Phase1(seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Sims += p1.Sims
+	res.Triggered = p1.Triggered
+	res.TO, res.ETO = p1.TO, p1.ETO
+	if !p1.Triggered {
+		return res, nil
+	}
+	p2, err := f.Phase2(p1)
+	if err != nil {
+		return nil, err
+	}
+	res.Sims += p2.Sims
+	res.TaintGain = p2.TaintGain
+	if !p2.TaintGain {
+		return res, nil
+	}
+	p3, err := f.Phase3(p1, p2)
+	if err != nil {
+		return nil, err
+	}
+	res.Sims += p3.Sims
+	res.Finding = p3.Finding
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+func TestSeedRoundTrip(t *testing.T) {
+	g := gen.New(42)
+	s := g.SeedFor(uarch.KindXiangShan, gen.TrigJumpMispred, gen.VariantDerived)
+	s.MaskHigh = true
+	enc := EncodeSeed(s)
+	if enc == "" {
+		t.Fatal("empty encoding")
+	}
+	got, err := DecodeSeed(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+	if _, err := DecodeSeed("{broken"); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+// TestFindingsReproduce: every finding's seed must replay to a finding of
+// the same kind — the determinism bug reports rely on.
+func TestFindingsReproduce(t *testing.T) {
+	opts := DefaultOptions(uarch.KindBOOM)
+	opts.Iterations = 25
+	opts.Seed = 42
+	f := NewFuzzer(opts)
+	rep := f.Run()
+	if len(rep.Findings) == 0 {
+		t.Skip("no findings to reproduce on this seed")
+	}
+	checked := 0
+	for _, fi := range rep.Findings {
+		if checked >= 3 {
+			break
+		}
+		checked++
+		// Fresh fuzzer: reproduction must not depend on campaign state.
+		rf := NewFuzzer(DefaultOptions(uarch.KindBOOM))
+		rr, err := rf.Reproduce(fi.Seed)
+		if err != nil {
+			t.Fatalf("reproduce: %v", err)
+		}
+		if !rr.Triggered {
+			t.Errorf("seed %s: window no longer triggers", EncodeSeed(fi.Seed))
+			continue
+		}
+		if rr.Finding == nil {
+			t.Errorf("seed %s: leak not reproduced", EncodeSeed(fi.Seed))
+			continue
+		}
+		if rr.Finding.AttackType != fi.AttackType || rr.Finding.Window != fi.Window {
+			t.Errorf("seed reproduced different finding: %v vs %v", rr.Finding, &fi)
+		}
+	}
+}

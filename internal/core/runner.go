@@ -1,0 +1,131 @@
+// Package core implements the DejaVuzz fuzzing framework: the three-phase
+// pipeline (transient window triggering, transient execution exploration,
+// transient leakage analysis), the taint coverage matrix, training reduction,
+// encode sanitisation, tainted-sink liveness analysis and the parallel
+// fuzzing manager.
+package core
+
+import (
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+// DefaultSecret is the 8-byte secret planted in the dedicated region; the
+// variant DUT receives its bitwise complement (the paper's bit-flip strategy
+// against diffIFT false negatives).
+var DefaultSecret = []byte{0xa5, 0x3c, 0x96, 0x0f, 0x11, 0xee, 0x42, 0x7b}
+
+// RunOpts configures one RTL-simulation run.
+type RunOpts struct {
+	Cfg        uarch.Config
+	Mode       uarch.IFTMode
+	Secret     []byte
+	TaintTrace bool
+	MaxCycles  int
+}
+
+func (o *RunOpts) defaults() {
+	if o.Secret == nil {
+		o.Secret = DefaultSecret
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 20000
+	}
+}
+
+// SingleRun is a finished single-DUT simulation.
+type SingleRun struct {
+	Core *uarch.Core
+	RT   *swapmem.Runtime
+}
+
+// DiffRun is a finished differential (two-DUT) simulation.
+type DiffRun struct {
+	Pair     *uarch.Pair
+	RTA, RTB *swapmem.Runtime
+}
+
+// RunSingle executes a swap schedule on one DUT instance.
+func RunSingle(sched *swapmem.Schedule, opts RunOpts) *SingleRun {
+	opts.defaults()
+	space := swapmem.NewSpace(opts.Secret)
+	c := uarch.NewCore(opts.Cfg, space, opts.Mode)
+	c.TaintTraceOn = opts.TaintTrace
+	rt := swapmem.NewRuntime(c, space, sched)
+	rt.Start()
+	c.Run(opts.MaxCycles)
+	return &SingleRun{Core: c, RT: rt}
+}
+
+func runDiffSecrets(sched *swapmem.Schedule, opts RunOpts, secretA, secretB []byte) *DiffRun {
+	spaceA := swapmem.NewSpace(secretA)
+	spaceB := swapmem.NewSpace(secretB)
+	a := uarch.NewCore(opts.Cfg, spaceA, uarch.IFTDiff)
+	b := uarch.NewCore(opts.Cfg, spaceB, uarch.IFTDiff)
+	a.TaintTraceOn = opts.TaintTrace
+	b.TaintTraceOn = opts.TaintTrace
+	rta := swapmem.NewRuntime(a, spaceA, sched.Clone())
+	rtb := swapmem.NewRuntime(b, spaceB, sched.Clone())
+	rta.Start()
+	rtb.Start()
+	p := uarch.NewPair(a, b)
+	p.Run(opts.MaxCycles)
+	return &DiffRun{Pair: p, RTA: rta, RTB: rtb}
+}
+
+// RunDiff executes a swap schedule on the differential testbench: two DUTs
+// with complementary secrets, coupled for diffIFT.
+func RunDiff(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
+	opts.defaults()
+	return runDiffSecrets(sched, opts, opts.Secret, swapmem.FlipSecret(opts.Secret))
+}
+
+// RunDiffFN executes the diffIFT false-negative worst case: both instances
+// carry the SAME secret, so every cross-instance comparison is equal and all
+// control taints are suppressed (Figure 6's diffIFT_FN series).
+func RunDiffFN(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
+	opts.defaults()
+	return runDiffSecrets(sched, opts, opts.Secret, opts.Secret)
+}
+
+// expectedSquash maps a trigger type to the squash class its transient
+// window must be terminated by.
+func expectedSquash(t gen.TriggerType) uarch.SquashReason {
+	switch t {
+	case gen.TrigMemDisambig:
+		return uarch.SquashMemOrdering
+	case gen.TrigBranchMispred:
+		return uarch.SquashBranchMispredict
+	case gen.TrigJumpMispred:
+		return uarch.SquashJumpMispredict
+	case gen.TrigReturnMispred:
+		return uarch.SquashReturnMispredict
+	default:
+		return uarch.SquashException
+	}
+}
+
+// WindowTriggered evaluates the paper's trigger criterion during the
+// transient packet's execution: more window instructions entered the RoB
+// than committed, terminated by the expected squash class at the trigger PC.
+func WindowTriggered(run *SingleRun, st *gen.Stimulus) bool {
+	since := run.RT.TransientStart()
+	ws := run.Core.Trace.WindowSince(st.WindowLo, st.WindowHi, since)
+	if !ws.Triggered() {
+		return false
+	}
+	want := expectedSquash(st.Seed.Trigger)
+	needPred := st.Seed.Trigger.IsMispredict()
+	for _, s := range run.Core.Trace.Squashes {
+		if s.Cycle >= since && s.Reason == want && s.AtPC == st.TriggerPC {
+			if needPred && !s.PredTaken {
+				// Default (untrained) fall-through execution: not a trained
+				// transient window — the paper excludes these.
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}

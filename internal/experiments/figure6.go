@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/uarch"
+)
+
+// Figure6Series is one attack's taint-sum-per-cycle trace under one
+// tracking discipline.
+type Figure6Series struct {
+	Attack string
+	Mode   string // "diffIFT", "diffIFT_FN", "CellIFT"
+	Sums   []int
+	// WindowStart is the cycle the transient window opened (the paper's
+	// dotted vertical line).
+	WindowStart int
+}
+
+// Final returns the last taint sum (steady state after the run).
+func (s Figure6Series) Final() int {
+	if len(s.Sums) == 0 {
+		return 0
+	}
+	return s.Sums[len(s.Sums)-1]
+}
+
+// Peak returns the maximum taint sum.
+func (s Figure6Series) Peak() int {
+	p := 0
+	for _, v := range s.Sums {
+		if v > p {
+			p = v
+		}
+	}
+	return p
+}
+
+// Figure6 runs the five attack PoCs on BOOM under diffIFT, diffIFT_FN
+// (identical secrets: worst-case false negatives) and CellIFT, recording the
+// per-cycle taint sums. CellIFT exhibits the rollback taint explosion;
+// diffIFT stays bounded; diffIFT_FN suppresses control taints entirely.
+func Figure6(w io.Writer, maxCycles int) []Figure6Series {
+	cfg := uarch.BOOMConfig()
+	var out []Figure6Series
+	for _, poc := range AllPoCs() {
+		winStart := func(tr *uarch.Trace) int {
+			ws := tr.Window(poc.WindowLo, poc.WindowHi)
+			return ws.FirstCycle
+		}
+
+		drun := core.RunDiff(poc.Schedule.Clone(), core.RunOpts{Cfg: cfg, TaintTrace: true, MaxCycles: maxCycles})
+		out = append(out, Figure6Series{
+			Attack: poc.Name, Mode: "diffIFT",
+			Sums:        drun.Pair.A.Trace.TaintSumByCycle,
+			WindowStart: winStart(drun.Pair.A.Trace),
+		})
+
+		fnrun := core.RunDiffFN(poc.Schedule.Clone(), core.RunOpts{Cfg: cfg, TaintTrace: true, MaxCycles: maxCycles})
+		out = append(out, Figure6Series{
+			Attack: poc.Name, Mode: "diffIFT_FN",
+			Sums:        fnrun.Pair.A.Trace.TaintSumByCycle,
+			WindowStart: winStart(fnrun.Pair.A.Trace),
+		})
+
+		crun := core.RunSingle(poc.Schedule.Clone(), core.RunOpts{
+			Cfg: cfg, Mode: uarch.IFTCellIFT, TaintTrace: true, MaxCycles: maxCycles,
+		})
+		out = append(out, Figure6Series{
+			Attack: poc.Name, Mode: "CellIFT",
+			Sums:        crun.Core.Trace.TaintSumByCycle,
+			WindowStart: winStart(crun.Core.Trace),
+		})
+	}
+
+	fmt.Fprintln(w, "Figure 6: taint sum during each test case (final/peak per mode)")
+	fmt.Fprintf(w, "%-14s %-12s %-10s %-10s %-12s\n", "Attack", "Mode", "Final", "Peak", "WindowStart")
+	for _, s := range out {
+		fmt.Fprintf(w, "%-14s %-12s %-10d %-10d %-12d\n", s.Attack, s.Mode, s.Final(), s.Peak(), s.WindowStart)
+	}
+	return out
+}
+
+// Figure6CSV writes the raw per-cycle series for plotting.
+func Figure6CSV(w io.Writer, series []Figure6Series) {
+	fmt.Fprintln(w, "attack,mode,cycle,taint_sum")
+	for _, s := range series {
+		for cyc, v := range s.Sums {
+			fmt.Fprintf(w, "%s,%s,%d,%d\n", s.Attack, s.Mode, cyc, v)
+		}
+	}
+}

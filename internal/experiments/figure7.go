@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/specdoctor"
+	"dejavuzz/internal/uarch"
+)
+
+// Figure7Series is one fuzzer's coverage trajectory, averaged over trials.
+type Figure7Series struct {
+	Name   string
+	Trials [][]int // per trial: cumulative coverage per iteration
+}
+
+// Mean returns the across-trial mean at each iteration.
+func (s Figure7Series) Mean() []float64 {
+	if len(s.Trials) == 0 {
+		return nil
+	}
+	n := len(s.Trials[0])
+	out := make([]float64, n)
+	for _, tr := range s.Trials {
+		for i := 0; i < n && i < len(tr); i++ {
+			out[i] += float64(tr[i])
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(s.Trials))
+	}
+	return out
+}
+
+// Final returns the mean final coverage.
+func (s Figure7Series) Final() float64 {
+	m := s.Mean()
+	if len(m) == 0 {
+		return 0
+	}
+	return m[len(m)-1]
+}
+
+// Figure7 compares taint-coverage growth for DejaVuzz, DejaVuzz− (no
+// coverage feedback) and SpecDoctor (phase-3 test cases replayed through the
+// diffIFT environment, as the paper does) over `iterations` per trial.
+func Figure7(w io.Writer, iterations, trials int, seed int64) []Figure7Series {
+	kind := uarch.KindBOOM
+	series := []Figure7Series{{Name: "DejaVuzz"}, {Name: "DejaVuzz-"}, {Name: "SpecDoctor"}}
+
+	for trial := 0; trial < trials; trial++ {
+		tseed := seed + int64(trial)*7919
+
+		// DejaVuzz with coverage feedback.
+		opts := core.DefaultOptions(kind)
+		opts.Seed = tseed
+		opts.Iterations = iterations
+		rep := core.NewFuzzer(opts).Run()
+		series[0].Trials = append(series[0].Trials, rep.CoverageHistory())
+
+		// DejaVuzz− ablation: random regeneration each round.
+		opts2 := opts
+		opts2.UseCoverageFeedback = false
+		rep2 := core.NewFuzzer(opts2).Run()
+		series[1].Trials = append(series[1].Trials, rep2.CoverageHistory())
+
+		// SpecDoctor: replay generated cases and measure OUR taint coverage.
+		sd := specdoctor.New(specdoctor.Options{Core: kind, Seed: tseed})
+		cov := core.NewCoverage()
+		hist := make([]int, iterations)
+		sup := sd.SupportedTriggers()
+		for i := 0; i < iterations; i++ {
+			t := sup[i%len(sup)]
+			c, err := sd.GenCase(t)
+			if err == nil {
+				run := core.RunDiff(c.Schedule(), core.RunOpts{
+					Cfg: uarch.ConfigFor(kind), TaintTrace: true,
+				})
+				cov.AddFromLog(run.Pair.A.Trace.TaintLog)
+			}
+			hist[i] = cov.Count()
+		}
+		series[2].Trials = append(series[2].Trials, hist)
+	}
+
+	fmt.Fprintln(w, "Figure 7: taint coverage over iterations (mean of trials)")
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-14s\n", "Fuzzer", "Final", "Mid", "Improvement")
+	sdFinal := series[2].Final()
+	for _, s := range series {
+		m := s.Mean()
+		mid := 0.0
+		if len(m) > 0 {
+			mid = m[len(m)/2]
+		}
+		impr := "-"
+		if sdFinal > 0 {
+			impr = fmt.Sprintf("%.1fx vs SpecDoctor", s.Final()/sdFinal)
+		}
+		fmt.Fprintf(w, "%-12s %-12.1f %-12.1f %-14s\n", s.Name, s.Final(), mid, impr)
+	}
+
+	// Saturation crossover: first DejaVuzz iteration reaching SpecDoctor's
+	// final coverage.
+	dv := series[0].Mean()
+	cross := -1
+	for i, v := range dv {
+		if v >= sdFinal {
+			cross = i + 1
+			break
+		}
+	}
+	fmt.Fprintf(w, "DejaVuzz reaches SpecDoctor's final coverage at iteration %d of %d\n", cross, iterations)
+	return series
+}
+
+// Figure7CSV writes the raw mean series for plotting.
+func Figure7CSV(w io.Writer, series []Figure7Series) {
+	fmt.Fprintln(w, "fuzzer,iteration,coverage_mean")
+	for _, s := range series {
+		for i, v := range s.Mean() {
+			fmt.Fprintf(w, "%s,%d,%.2f\n", s.Name, i+1, v)
+		}
+	}
+}
+
+var _ = gen.VariantDerived // keep gen import for documentation cross-refs

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dejavuzz/internal/uarch"
+)
+
+// Table2 prints the core-summary analogue of the paper's Table 2: the two
+// evaluated configurations, their scale-model sizes (RTL-model state bits and
+// cells in place of Verilog LoC) and the manual liveness-annotation effort.
+func Table2(w io.Writer) {
+	boom := uarch.BOOMConfig()
+	xs := uarch.XiangShanConfig()
+	dBoom := BuildCoreModel(boom)
+	dXS := BuildCoreModel(xs)
+	sb, sx := dBoom.Stats(), dXS.Stats()
+
+	fmt.Fprintf(w, "Table 2: Summary of the cores used for evaluation\n")
+	fmt.Fprintf(w, "%-28s %-18s %-18s\n", "Feature", "BOOM", "XiangShan")
+	row := func(k, a, b string) { fmt.Fprintf(w, "%-28s %-18s %-18s\n", k, a, b) }
+	row("Configuration", boom.Name, xs.Name)
+	row("ISA", "RV64 subset", "RV64 subset")
+	row("RoB entries", fmt.Sprint(boom.ROBEntries), fmt.Sprint(xs.ROBEntries))
+	row("RTL-model cells", fmt.Sprint(sb.Cells), fmt.Sprint(sx.Cells))
+	row("RTL-model state bits", fmt.Sprint(sb.StateBit), fmt.Sprint(sx.StateBit))
+	row("RTL-model memories", fmt.Sprint(sb.Mems), fmt.Sprint(sx.Mems))
+	row("Annotation LoC", fmt.Sprint(boom.AnnotationLoC), fmt.Sprint(xs.AnnotationLoC))
+	row("Illegal op at decode", fmt.Sprint(boom.IllegalAtDecode), fmt.Sprint(xs.IllegalAtDecode))
+	row("Transient pred. update", fmt.Sprint(boom.TransientPredictorUpdate), fmt.Sprint(xs.TransientPredictorUpdate))
+	row("Injected bugs", "B2,B3,B4", "B1,B4,B5")
+}

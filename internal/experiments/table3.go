@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/specdoctor"
+	"dejavuzz/internal/uarch"
+)
+
+// Table3Cell is one fuzzer x trigger measurement.
+type Table3Cell struct {
+	Triggerable bool
+	TO          float64
+	ETO         float64
+	HasETO      bool
+}
+
+func (c Table3Cell) String() string {
+	if !c.Triggerable {
+		return "fail"
+	}
+	if c.HasETO {
+		return fmt.Sprintf("%.1f (%.1f)", c.TO, c.ETO)
+	}
+	return fmt.Sprintf("%.1f", c.TO)
+}
+
+// Table3Result maps fuzzer name -> trigger -> cell, per core.
+type Table3Result struct {
+	Core  uarch.CoreKind
+	Rows  map[string]map[gen.TriggerType]Table3Cell
+	Order []string
+}
+
+// Table3 measures training overhead per transient-window type for DejaVuzz,
+// DejaVuzz* (random training) and — on BOOM — SpecDoctor, over `samples`
+// Phase-1 attempts per cell.
+func Table3(w io.Writer, samples int, seed int64) []Table3Result {
+	var out []Table3Result
+	for _, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
+		res := Table3Result{Core: kind, Rows: map[string]map[gen.TriggerType]Table3Cell{}}
+
+		for _, variant := range []gen.Variant{gen.VariantDerived, gen.VariantRandom} {
+			opts := core.DefaultOptions(kind)
+			opts.Seed = seed
+			f := core.NewFuzzer(opts)
+			cells := map[gen.TriggerType]Table3Cell{}
+			for _, t := range gen.AllTriggerTypes() {
+				st := f.MeasureTraining(t, variant, samples)
+				cells[t] = Table3Cell{
+					Triggerable: st.Triggerable(),
+					TO:          st.AvgTO,
+					ETO:         st.AvgETO,
+					HasETO:      variant == gen.VariantDerived,
+				}
+			}
+			res.Rows[variant.String()] = cells
+			res.Order = append(res.Order, variant.String())
+		}
+
+		if kind == uarch.KindBOOM {
+			sd := specdoctor.New(specdoctor.Options{Core: kind, Seed: seed})
+			cells := map[gen.TriggerType]Table3Cell{}
+			camp := sd.Campaign(samples*4, core.DefaultSecret)
+			for _, t := range gen.AllTriggerTypes() {
+				if to, ok := camp.TriggerTO[t]; ok {
+					cells[t] = Table3Cell{Triggerable: true, TO: to}
+				} else {
+					cells[t] = Table3Cell{}
+				}
+			}
+			res.Rows["SpecDoctor"] = cells
+			res.Order = append(res.Order, "SpecDoctor")
+		}
+		out = append(out, res)
+	}
+
+	fmt.Fprintln(w, "Table 3: Training overhead for different types of transient windows")
+	for _, res := range out {
+		fmt.Fprintf(w, "\n[%v]\n%-12s", res.Core, "Fuzzer")
+		for _, t := range gen.AllTriggerTypes() {
+			fmt.Fprintf(w, " %-14s", shortTrig(t))
+		}
+		fmt.Fprintln(w)
+		for _, name := range res.Order {
+			fmt.Fprintf(w, "%-12s", name)
+			for _, t := range gen.AllTriggerTypes() {
+				fmt.Fprintf(w, " %-14s", res.Rows[name][t])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return out
+}
+
+func shortTrig(t gen.TriggerType) string {
+	switch t {
+	case gen.TrigAccessFault:
+		return "acc-fault"
+	case gen.TrigPageFault:
+		return "page-fault"
+	case gen.TrigMisalign:
+		return "misalign"
+	case gen.TrigIllegal:
+		return "illegal"
+	case gen.TrigMemDisambig:
+		return "mem-disamb"
+	case gen.TrigBranchMispred:
+		return "branch"
+	case gen.TrigJumpMispred:
+		return "ind-jump"
+	case gen.TrigReturnMispred:
+		return "return"
+	}
+	return t.String()
+}

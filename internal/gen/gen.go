@@ -1,0 +1,676 @@
+// Package gen is DejaVuzz's stimulus generator. It implements the paper's
+// Phase 1 and Phase 2 construction steps on top of swapMem:
+//
+//   - trigger generation for all eight transient-window types (Step 1.1),
+//   - training derivation: targeted trigger-training packets aligned to the
+//     trigger address with matched control flow (Step 1.1),
+//   - dummy windows for Phase 1, replaced by secret-access and
+//     secret-encoding blocks in Phase 2 (Step 2.1),
+//   - window-training derivation that warms memory state before the trigger
+//     training runs (Step 2.1),
+//   - the DejaVuzz* ablation (random, underived training), and
+//   - encode-block sanitisation used by Phase 3 (Step 3.1).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dejavuzz/internal/isa"
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+// TriggerType enumerates the transient-window trigger classes of Table 3.
+type TriggerType int
+
+const (
+	TrigAccessFault TriggerType = iota
+	TrigPageFault
+	TrigMisalign
+	TrigIllegal
+	TrigMemDisambig
+	TrigBranchMispred
+	TrigJumpMispred
+	TrigReturnMispred
+
+	NumTriggerTypes
+)
+
+var triggerNames = [...]string{
+	"load/store-access-fault",
+	"load/store-page-fault",
+	"load/store-misalign",
+	"illegal-instruction",
+	"memory-disambiguation",
+	"branch-misprediction",
+	"indirect-jump-misprediction",
+	"return-address-misprediction",
+}
+
+func (t TriggerType) String() string {
+	if t >= 0 && int(t) < len(triggerNames) {
+		return triggerNames[t]
+	}
+	return fmt.Sprintf("trigger(%d)", int(t))
+}
+
+// IsException reports whether the trigger is an architectural-exception type
+// (zero training expected).
+func (t TriggerType) IsException() bool {
+	switch t {
+	case TrigAccessFault, TrigPageFault, TrigMisalign, TrigIllegal:
+		return true
+	}
+	return false
+}
+
+// IsMispredict reports whether the trigger is a control-flow misprediction.
+func (t TriggerType) IsMispredict() bool {
+	switch t {
+	case TrigBranchMispred, TrigJumpMispred, TrigReturnMispred:
+		return true
+	}
+	return false
+}
+
+// AllTriggerTypes lists every trigger class.
+func AllTriggerTypes() []TriggerType {
+	out := make([]TriggerType, NumTriggerTypes)
+	for i := range out {
+		out[i] = TriggerType(i)
+	}
+	return out
+}
+
+// Variant selects the training-generation strategy.
+type Variant int
+
+const (
+	// VariantDerived is DejaVuzz proper: training derived from the transient
+	// packet's execution information.
+	VariantDerived Variant = iota
+	// VariantRandom is the DejaVuzz* ablation: swapMem isolation but random,
+	// underived training instructions.
+	VariantRandom
+)
+
+func (v Variant) String() string {
+	if v == VariantRandom {
+		return "DejaVuzz*"
+	}
+	return "DejaVuzz"
+}
+
+// Seed holds the configuration entropy for one stimulus (the corpus unit).
+type Seed struct {
+	Core    uarch.CoreKind
+	Trigger TriggerType
+	Variant Variant
+	Rand    int64
+
+	TriggerOff   int  // pad-nop count before the trigger instruction
+	WindowLen    int  // dummy-window length in instructions
+	EncodeOps    int  // number of encode gadgets in Phase 2
+	MaskHigh     bool // mask high address bits in the secret access (MDS probing)
+	SecretFaults bool // Meltdown-type: secret access itself faults
+	StoreFlavor  bool // use a store for fault-type triggers
+}
+
+// Generator produces seeds and stimuli deterministically from its RNG.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given RNG seed.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// RandomSeed draws a fresh seed for a core.
+func (g *Generator) RandomSeed(core uarch.CoreKind) Seed {
+	return Seed{
+		Core:         core,
+		Trigger:      TriggerType(g.rng.Intn(int(NumTriggerTypes))),
+		Variant:      VariantDerived,
+		Rand:         g.rng.Int63(),
+		TriggerOff:   60 + g.rng.Intn(50),
+		WindowLen:    4 + g.rng.Intn(6),
+		EncodeOps:    1 + g.rng.Intn(3),
+		MaskHigh:     g.rng.Intn(4) == 0,
+		SecretFaults: g.rng.Intn(2) == 0,
+		StoreFlavor:  g.rng.Intn(4) == 0,
+	}
+}
+
+// SeedFor draws a seed with a fixed trigger type.
+func (g *Generator) SeedFor(core uarch.CoreKind, t TriggerType, v Variant) Seed {
+	s := g.RandomSeed(core)
+	s.Trigger = t
+	s.Variant = v
+	return s
+}
+
+// Mutate perturbs a seed's window/encode configuration (Phase 2 feedback).
+func (g *Generator) Mutate(s Seed) Seed {
+	n := s
+	n.Rand = g.rng.Int63()
+	switch g.rng.Intn(6) {
+	case 0:
+		n.EncodeOps = 1 + g.rng.Intn(4)
+	case 1:
+		n.MaskHigh = !n.MaskHigh
+	case 2:
+		n.SecretFaults = !n.SecretFaults
+	case 3:
+		n.WindowLen = 4 + g.rng.Intn(8)
+	case 4:
+		n.Trigger = TriggerType(g.rng.Intn(int(NumTriggerTypes)))
+	case 5:
+		n.StoreFlavor = !n.StoreFlavor
+	}
+	return n
+}
+
+// Stimulus is a fully constructed swapMem test case.
+type Stimulus struct {
+	Seed Seed
+
+	Transient     *swapmem.Packet
+	TriggerTrains []*swapmem.Packet
+	WindowTrains  []*swapmem.Packet
+
+	TriggerPC uint64
+	WindowLo  uint64
+	WindowHi  uint64
+
+	// EncodeLines is the secret-encoding block (for sanitisation); empty in
+	// Phase 1 (dummy window).
+	EncodeLines []string
+	// Completed marks Phase 2 window completion.
+	Completed bool
+}
+
+// triggerAddr computes the trigger PC for a seed.
+func triggerAddr(s Seed) uint64 {
+	return swapmem.SwapBase + 4*uint64(s.TriggerOff)
+}
+
+// BuildStimulus constructs the Phase-1 stimulus: transient packet with a
+// dummy (nop) window plus derived or random trigger-training packets.
+func (g *Generator) BuildStimulus(seed Seed) (*Stimulus, error) {
+	rng := rand.New(rand.NewSource(seed.Rand))
+	st := &Stimulus{Seed: seed, TriggerPC: triggerAddr(seed)}
+
+	body := dummyWindow(seed.WindowLen)
+	if err := buildTransient(st, body); err != nil {
+		return nil, err
+	}
+	if seed.Variant == VariantRandom {
+		st.TriggerTrains = randomTrainings(st, rng, 6)
+	} else {
+		st.TriggerTrains = deriveTrainings(st, rng)
+	}
+	return st, nil
+}
+
+// dummyWindow is Phase 1's placeholder payload.
+func dummyWindow(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "nop"
+	}
+	return out
+}
+
+// buildTransient assembles the transient packet for the seed's trigger type
+// with the given window body, filling in TriggerPC/WindowLo/WindowHi.
+func buildTransient(st *Stimulus, windowBody []string) error {
+	s := st.Seed
+	T := st.TriggerPC
+	var lines []string
+	emit := func(l ...string) { lines = append(lines, l...) }
+	train := 0 // transient packets count no training instructions
+
+	// --- entry setup ---
+	switch s.Trigger {
+	case TrigAccessFault:
+		emit(fmt.Sprintf("li t6, %#x", swapmem.GuardAccBase+0x40))
+	case TrigPageFault:
+		emit(fmt.Sprintf("li t6, %#x", swapmem.GuardPageBase+0x40))
+	case TrigMisalign:
+		emit(fmt.Sprintf("li t6, %#x", swapmem.DataBase+0x101))
+	case TrigIllegal:
+		// no setup
+	case TrigMemDisambig:
+		ptr := swapmem.DataBase + 0x300
+		safe := swapmem.DataBase + 0x400
+		emit(
+			fmt.Sprintf("li a2, %#x", ptr),
+			fmt.Sprintf("li a3, %#x", swapmem.SecretAddr),
+			"sd a3, 0(a2)", // pointer slot <- &secret
+			fmt.Sprintf("li a4, %#x", safe),
+			// Slow recomputation of the pointer address via division.
+			fmt.Sprintf("li t3, %#x", ptr*9),
+			"li t4, 3",
+			"div t3, t3, t4",
+			"div t3, t3, t4", // t3 = ptr, ready ~32 cycles later
+		)
+	case TrigBranchMispred:
+		emit(
+			"li a0, 36",
+			"li a1, 3",
+			"div a0, a0, a1",
+			"div a0, a0, a1", // a0 = 4, slowly; a1 = 3 -> branch not taken
+		)
+	case TrigJumpMispred, TrigReturnMispred:
+		// a0 = exit address (T+4), computed via two divisions so the actual
+		// target resolves long after the prediction redirected fetch.
+		emit(
+			fmt.Sprintf("li a0, %d", (T+4)*9),
+			"li a1, 3",
+			"div a0, a0, a1",
+			"div a0, a0, a1",
+		)
+		if s.Trigger == TrigReturnMispred {
+			emit("mv ra, a0")
+		}
+	}
+
+	// --- padding, then jump to the trigger ---
+	setupWords, err := countWords(lines)
+	if err != nil {
+		return err
+	}
+	emit("j trig")
+	pad := s.TriggerOff - setupWords - 1
+	if pad < 0 {
+		return fmt.Errorf("gen: trigger offset %d too small for %d setup words", s.TriggerOff, setupWords)
+	}
+	for i := 0; i < pad; i++ {
+		emit("nop")
+	}
+
+	// --- trigger and window layout ---
+	winLen := len(windowBody) + 1 // + terminator ecall
+	emit("trig:")
+	switch s.Trigger {
+	case TrigAccessFault, TrigPageFault, TrigMisalign:
+		if s.StoreFlavor {
+			emit("sd t6, 0(t6)")
+		} else {
+			emit("ld t6, 0(t6)")
+		}
+		st.WindowLo = T + 4
+		emit(windowBody...)
+		emit("ecall")
+	case TrigIllegal:
+		emit(".illegal")
+		st.WindowLo = T + 4
+		emit(windowBody...)
+		emit("ecall")
+	case TrigMemDisambig:
+		emit("sd a4, 0(t3)") // slow-address store overwrites the pointer
+		st.WindowLo = T + 4
+		emit("ld t1, 0(a2)") // speculative load of the (stale) pointer
+		emit(windowBody...)
+		emit("ecall")
+	case TrigBranchMispred:
+		// Trained taken -> window at target; actually not taken -> exit.
+		emit("beq a0, a1, win")
+		emit("ecall") // exit at T+4
+		emit("win:")
+		st.WindowLo = T + 8
+		emit(windowBody...)
+		emit("ecall")
+	case TrigJumpMispred:
+		emit("jalr x0, 0(a0)") // actual: exit at T+4
+		emit("ecall")
+		emit("win:")
+		st.WindowLo = T + 8
+		emit(windowBody...)
+		emit("ecall")
+	case TrigReturnMispred:
+		emit("ret") // predicted from RAS -> win; actual -> exit
+		emit("ecall")
+		emit("win:")
+		st.WindowLo = T + 8
+		emit(windowBody...)
+		emit("ecall")
+	}
+	st.WindowHi = st.WindowLo + 4*uint64(winLen)
+
+	img, err := isa.Asm(swapmem.SwapBase, strings.Join(lines, "\n"))
+	if err != nil {
+		return fmt.Errorf("gen: transient packet: %w", err)
+	}
+	st.Transient = &swapmem.Packet{
+		Name:       "transient",
+		Kind:       swapmem.PacketTransient,
+		Image:      img,
+		Entry:      swapmem.SwapBase,
+		TrainInsts: train,
+		PadInsts:   pad,
+	}
+	return nil
+}
+
+// countWords assembles a fragment to measure its instruction count.
+func countWords(lines []string) (int, error) {
+	if len(lines) == 0 {
+		return 0, nil
+	}
+	p, err := isa.Asm(swapmem.SwapBase, strings.Join(lines, "\n"))
+	if err != nil {
+		return 0, err
+	}
+	return len(p.Words), nil
+}
+
+// trainingPacket assembles a trigger-training packet: setup, pad nops so the
+// training instruction aligns with the trigger PC, the training body, and a
+// terminator.
+func trainingPacket(name string, st *Stimulus, setup, body []string) (*swapmem.Packet, error) {
+	setupWords, err := countWords(setup)
+	if err != nil {
+		return nil, err
+	}
+	pad := st.Seed.TriggerOff - setupWords
+	if pad < 0 {
+		pad = 0
+	}
+	var lines []string
+	lines = append(lines, setup...)
+	for i := 0; i < pad; i++ {
+		lines = append(lines, "nop")
+	}
+	lines = append(lines, "trainpc:")
+	lines = append(lines, body...)
+	img, err := isa.Asm(swapmem.SwapBase, strings.Join(lines, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("gen: training packet %s: %w", name, err)
+	}
+	return &swapmem.Packet{
+		Name:       name,
+		Kind:       swapmem.PacketTriggerTrain,
+		Image:      img,
+		Entry:      swapmem.SwapBase,
+		TrainInsts: len(img.Words) - pad,
+		PadInsts:   pad,
+	}, nil
+}
+
+// deriveTrainings implements the training derivation strategy: targeted
+// training whose instruction aligns with the trigger PC and whose control
+// flow matches the transient window, plus decoy candidates that the
+// training-reduction step is expected to discard.
+func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
+	var out []*swapmem.Packet
+	add := func(p *swapmem.Packet, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("gen: derived training: %v", err))
+		}
+		out = append(out, p)
+	}
+	win := st.WindowLo
+
+	switch st.Seed.Trigger {
+	case TrigBranchMispred:
+		// Loop a taken branch at the trigger PC three times; its target is
+		// the window address (control-flow matching).
+		add(trainingPacket("train-branch", st,
+			[]string{"li a3, 3"},
+			[]string{
+				"beq zero, zero, taken",
+				"ecall",
+				"taken:", // = win (T+8)
+				"addi a3, a3, -1",
+				"bnez a3, trainpc",
+				"ecall",
+			}))
+	case TrigJumpMispred:
+		// Train the indirect-target predictor with the window address,
+		// repeated to satisfy target-confidence thresholds.
+		add(trainingPacket("train-jalr", st,
+			[]string{fmt.Sprintf("li a2, %#x", win), "li a3, 3"},
+			[]string{
+				"jalr x0, 0(a2)", // jumps to win
+				"ecall",
+				"landing:", // = win
+				"addi a3, a3, -1",
+				"bnez a3, trainpc",
+				"ecall",
+			}))
+	case TrigReturnMispred:
+		// A call whose return address equals the window start: the auipc of
+		// `call` sits at the trigger PC, its jalr at T+4, so ra = T+8 = win.
+		add(trainingPacket("train-ret", st,
+			nil,
+			[]string{fmt.Sprintf("call %#x", swapmem.SwapDoneAddr)}))
+	}
+
+	// Decoy candidates: plausible but untargeted; training reduction should
+	// eliminate them (and, for exception-type windows, everything).
+	decoys := []string{"add t0, t1, s2", "sub t1, t0, s0", "mul t2, t0, t1", "andi t3, t0, 0xf"}
+	rng.Shuffle(len(decoys), func(i, j int) { decoys[i], decoys[j] = decoys[j], decoys[i] })
+	for i := 0; i < 2; i++ {
+		add(trainingPacket(fmt.Sprintf("decoy-%d", i), st, nil,
+			[]string{decoys[i], "ecall"}))
+	}
+	return out
+}
+
+// randomTrainings implements DejaVuzz*: random instructions aligned to the
+// trigger PC without any derivation from transient execution information.
+func randomTrainings(st *Stimulus, rng *rand.Rand, n int) []*swapmem.Packet {
+	var out []*swapmem.Packet
+	for i := 0; i < n; i++ {
+		var setup, body []string
+		switch rng.Intn(8) {
+		case 0: // random conditional branch, random small offset
+			off := 8 + 4*rng.Intn(14)
+			taken := rng.Intn(2) == 0
+			op := "bne"
+			if taken {
+				op = "beq"
+			}
+			body = []string{
+				fmt.Sprintf("%s zero, zero, %d", op, off),
+				"ecall",
+			}
+			// Landing pads so a taken branch terminates cleanly.
+			for w := 8; w <= off; w += 4 {
+				if w == off {
+					body = append(body, "ecall")
+				} else {
+					body = append(body, "nop")
+				}
+			}
+		case 1: // random indirect jump to a random aligned address past the body
+			tgt := triggerAddr(st.Seed) + 8 + uint64(4*rng.Intn(64))
+			setup = []string{fmt.Sprintf("li a2, %#x", tgt)}
+			body = []string{"jalr x0, 0(a2)", "ecall"}
+		case 2: // random call (pushes a random return address)
+			body = []string{fmt.Sprintf("call %#x", swapmem.SwapDoneAddr)}
+		case 3:
+			body = []string{fmt.Sprintf("ld t0, %d(t1)", 8*rng.Intn(16)), "ecall"}
+			setup = []string{fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x200)}
+		default: // plain ALU
+			ops := []string{"add t0, t1, t2", "sub t3, t4, t5", "mul t0, t0, t1",
+				"xor t2, t2, t3", "andi t4, t5, 0x3f", "sll t1, t1, t0"}
+			body = []string{ops[rng.Intn(len(ops))], "ecall"}
+		}
+		p, err := trainingPacket(fmt.Sprintf("rand-%d", i), st, setup, body)
+		if err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CompleteWindow implements Step 2.1: replace the dummy window with the
+// secret-access and secret-encoding blocks, and derive window training.
+func (g *Generator) CompleteWindow(st *Stimulus) (*Stimulus, error) {
+	rng := rand.New(rand.NewSource(st.Seed.Rand ^ 0x5eed))
+	access := accessBlock(st.Seed)
+	encode := encodeBlock(st.Seed, rng)
+
+	body := append(append([]string{}, access...), encode...)
+	n := &Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC}
+	if err := buildTransient(n, body); err != nil {
+		return nil, err
+	}
+	n.TriggerTrains = st.TriggerTrains
+	n.EncodeLines = encode
+	n.Completed = true
+
+	// Window training: warm the secret's cache/TLB state before training.
+	// Memory-disambiguation windows additionally warm the pointer slot so
+	// the speculative loads complete inside the (short) ordering window.
+	wt, err := windowTrainPacket(st.Seed.Trigger == TrigMemDisambig)
+	if err == nil {
+		n.WindowTrains = []*swapmem.Packet{wt}
+	}
+	return n, nil
+}
+
+// Sanitized rebuilds the transient packet with the encode block replaced by
+// nops (Step 3.1's encode sanitisation).
+func (g *Generator) Sanitized(st *Stimulus) (*Stimulus, error) {
+	access := accessBlock(st.Seed)
+	body := append(append([]string{}, access...), dummyWindow(len(st.EncodeLines))...)
+	n := &Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC}
+	if err := buildTransient(n, body); err != nil {
+		return nil, err
+	}
+	n.TriggerTrains = st.TriggerTrains
+	n.WindowTrains = st.WindowTrains
+	n.Completed = true
+	return n, nil
+}
+
+// accessBlock emits the secret access: load the secret into s0, optionally
+// through a masked (illegal, MDS-style) address.
+func accessBlock(s Seed) []string {
+	if s.Trigger == TrigMemDisambig {
+		// The stale pointer in t1 (set by the trigger block) points at the
+		// secret; dereference it.
+		return []string{"ld s0, 0(t1)"}
+	}
+	if s.MaskHigh {
+		return []string{
+			fmt.Sprintf("li t0, %#x", uint64(1)<<63|uint64(swapmem.SecretAddr)),
+			"ld s0, 0(t0)",
+		}
+	}
+	return []string{
+		fmt.Sprintf("li t0, %#x", uint64(swapmem.SecretAddr)),
+		"ld s0, 0(t0)",
+	}
+}
+
+// encodeBlock draws EncodeOps secret-encoding gadgets.
+func encodeBlock(s Seed, rng *rand.Rand) []string {
+	gadgets := [][]string{
+		{ // dcache encode: classic secret-indexed load
+			"andi s1, s0, 0x3f",
+			"slli s1, s1, 6",
+			fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x1000),
+			"add t1, t1, s1",
+			"ld t2, 0(t1)",
+		},
+		{ // arithmetic propagation
+			"add t3, s0, s0",
+			"xor t4, t3, s0",
+			"mul t5, t4, t3",
+		},
+		{ // secret-dependent branch (control-flow encode)
+			"andi s1, s0, 1",
+			"beq s1, zero, 8",
+			"add t3, t3, t3",
+		},
+		{ // FPU port contention (Spectre-Rewind shape)
+			"fmv.d.x fa0, s0",
+			"fdiv.d fa1, fa0, fa0",
+		},
+		{ // store encode
+			fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x2000),
+			"andi s1, s0, 0x3f",
+			"slli s1, s1, 3",
+			"add t1, t1, s1",
+			"sd s0, 0(t1)",
+		},
+		{ // load write-back port pressure (Spectre-Reload shape)
+			fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x80),
+			"ld t2, 0(t1)",
+			"ld t3, 8(t1)",
+			"ld t4, 16(t1)",
+			"ld t5, 24(t1)",
+		},
+		{ // secret-dependent call: corrupts RAS/BTB (Phantom shapes)
+			"auipc t4, 0",
+			"andi s1, s0, 1",
+			"slli s1, s1, 3",
+			"add t4, t4, s1",
+			"jalr ra, 28(t4)",
+			"nop",
+			"nop",
+		},
+		{ // secret-dependent far jump: icache fill (Spectre-Refetch shape)
+			fmt.Sprintf("li t4, %#x", swapmem.SharedBase+0x400),
+			"andi s1, s0, 1",
+			"slli s1, s1, 6",
+			"add t4, t4, s1",
+			"jr t4",
+		},
+	}
+	var out []string
+	for i := 0; i < s.EncodeOps; i++ {
+		out = append(out, gadgets[rng.Intn(len(gadgets))]...)
+	}
+	return out
+}
+
+// windowTrainPacket warms the secret into the data cache and TLBs, and
+// optionally the disambiguation pointer slot.
+func windowTrainPacket(warmPtr bool) (*swapmem.Packet, error) {
+	src := fmt.Sprintf("li t0, %#x\nld a1, 0(t0)\n", uint64(swapmem.SecretAddr))
+	if warmPtr {
+		src += fmt.Sprintf("li t0, %#x\nld a1, 0(t0)\n", uint64(swapmem.DataBase+0x300))
+	}
+	src += "ecall"
+	img, err := isa.Asm(swapmem.SwapBase, src)
+	if err != nil {
+		return nil, err
+	}
+	return &swapmem.Packet{
+		Name:       "window-train",
+		Kind:       swapmem.PacketWindowTrain,
+		Image:      img,
+		Entry:      swapmem.SwapBase,
+		TrainInsts: len(img.Words),
+	}, nil
+}
+
+// BuildSchedule assembles the swap schedule: window training first, then
+// trigger training (optionally masked by `keep`), then — after the secret
+// permission update for Meltdown-type seeds — the transient packet.
+func (st *Stimulus) BuildSchedule(keep []bool) *swapmem.Schedule {
+	sched := &swapmem.Schedule{}
+	for _, p := range st.WindowTrains {
+		sched.Append(p)
+	}
+	for i, p := range st.TriggerTrains {
+		if keep != nil && (i >= len(keep) || !keep[i]) {
+			continue
+		}
+		sched.Append(p)
+	}
+	if st.Seed.SecretFaults {
+		sched.AppendWithPerm(st.Transient, swapmem.PermUpdate{Region: "dedicated", Perm: 0})
+	} else {
+		sched.Append(st.Transient)
+	}
+	return sched
+}

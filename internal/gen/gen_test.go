@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/isasim"
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+func TestBuildStimulusAllTriggers(t *testing.T) {
+	g := New(1)
+	for _, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
+		for _, trig := range AllTriggerTypes() {
+			seed := g.SeedFor(kind, trig, VariantDerived)
+			st, err := g.BuildStimulus(seed)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", kind, trig, err)
+			}
+			if st.Transient == nil {
+				t.Fatalf("%v/%v: no transient packet", kind, trig)
+			}
+			if st.WindowLo <= st.TriggerPC || st.WindowHi <= st.WindowLo {
+				t.Errorf("%v/%v: window [%#x,%#x) vs trigger %#x",
+					kind, trig, st.WindowLo, st.WindowHi, st.TriggerPC)
+			}
+			if st.TriggerPC != swapmem.SwapBase+4*uint64(seed.TriggerOff) {
+				t.Errorf("%v/%v: trigger pc %#x", kind, trig, st.TriggerPC)
+			}
+			// The image must fit the swappable region.
+			if st.Transient.Image.Size() > swapmem.SwapSize {
+				t.Errorf("%v/%v: image too large", kind, trig)
+			}
+		}
+	}
+}
+
+func TestDerivedTrainingAligned(t *testing.T) {
+	g := New(3)
+	for _, trig := range []TriggerType{TrigBranchMispred, TrigJumpMispred, TrigReturnMispred} {
+		seed := g.SeedFor(uarch.KindBOOM, trig, VariantDerived)
+		st, err := g.BuildStimulus(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.TriggerTrains) < 3 {
+			t.Fatalf("%v: %d training packets, want targeted + decoys", trig, len(st.TriggerTrains))
+		}
+		// The targeted packet's training body starts at the trigger PC.
+		p := st.TriggerTrains[0]
+		if got, ok := p.Image.Labels["trainpc"]; !ok || got != st.TriggerPC {
+			t.Errorf("%v: training instruction at %#x, trigger at %#x", trig, got, st.TriggerPC)
+		}
+		if p.PadInsts == 0 {
+			t.Errorf("%v: no alignment padding", trig)
+		}
+		if p.TrainInsts == 0 {
+			t.Errorf("%v: no training instructions counted", trig)
+		}
+	}
+}
+
+func TestRandomTrainingsAligned(t *testing.T) {
+	g := New(5)
+	seed := g.SeedFor(uarch.KindBOOM, TrigBranchMispred, VariantRandom)
+	st, err := g.BuildStimulus(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TriggerTrains) != 6 {
+		t.Fatalf("%d random candidates, want 6", len(st.TriggerTrains))
+	}
+	for _, p := range st.TriggerTrains {
+		if got := p.Image.Labels["trainpc"]; got != st.TriggerPC {
+			t.Errorf("candidate %s misaligned: %#x != %#x", p.Name, got, st.TriggerPC)
+		}
+	}
+}
+
+func TestCompleteWindowAndSanitize(t *testing.T) {
+	g := New(7)
+	seed := g.SeedFor(uarch.KindBOOM, TrigPageFault, VariantDerived)
+	seed.EncodeOps = 2
+	st, err := g.BuildStimulus(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst, err := g.CompleteWindow(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cst.Completed || len(cst.EncodeLines) == 0 {
+		t.Fatal("window not completed")
+	}
+	if len(cst.WindowTrains) == 0 {
+		t.Fatal("no window training derived")
+	}
+	// Same trigger placement as phase 1.
+	if cst.TriggerPC != st.TriggerPC || cst.WindowLo != st.WindowLo {
+		t.Fatal("completion moved the trigger/window")
+	}
+
+	sst, err := g.Sanitized(cst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanitised image has the same size but nops where the encode block was.
+	if len(sst.Transient.Image.Words) != len(cst.Transient.Image.Words) {
+		t.Fatalf("sanitised image size %d != %d",
+			len(sst.Transient.Image.Words), len(cst.Transient.Image.Words))
+	}
+	diff := 0
+	for i := range sst.Transient.Image.Words {
+		if sst.Transient.Image.Words[i] != cst.Transient.Image.Words[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("sanitisation changed nothing")
+	}
+}
+
+func TestMaskedAccessBlock(t *testing.T) {
+	seed := Seed{Trigger: TrigAccessFault, MaskHigh: true}
+	block := strings.Join(accessBlock(seed), "\n")
+	if !strings.Contains(block, "0x8000000000002000") {
+		t.Fatalf("masked access block missing illegal address: %s", block)
+	}
+	seed.MaskHigh = false
+	block = strings.Join(accessBlock(seed), "\n")
+	if strings.Contains(block, "0x8000000000002000") {
+		t.Fatal("unmasked access block uses illegal address")
+	}
+}
+
+func TestScheduleComposition(t *testing.T) {
+	g := New(9)
+	seed := g.SeedFor(uarch.KindBOOM, TrigBranchMispred, VariantDerived)
+	seed.SecretFaults = true
+	st, _ := g.BuildStimulus(seed)
+	cst, _ := g.CompleteWindow(st)
+
+	keep := make([]bool, len(cst.TriggerTrains))
+	keep[0] = true // only the targeted packet
+	sched := cst.BuildSchedule(keep)
+
+	// window trains, one trigger train, transient.
+	want := len(cst.WindowTrains) + 1 + 1
+	if len(sched.Steps) != want {
+		t.Fatalf("schedule has %d steps, want %d", len(sched.Steps), want)
+	}
+	last := sched.Steps[len(sched.Steps)-1]
+	if last.Packet.Kind != swapmem.PacketTransient {
+		t.Fatal("transient packet not last")
+	}
+	if len(last.PrePerm) == 0 {
+		t.Fatal("SecretFaults seed lost its permission update")
+	}
+	// Window trains come first (before trigger training).
+	if sched.Steps[0].Packet.Kind != swapmem.PacketWindowTrain {
+		t.Fatal("window training not scheduled first")
+	}
+}
+
+func TestMutatePreservesCore(t *testing.T) {
+	g := New(11)
+	s := g.RandomSeed(uarch.KindXiangShan)
+	for i := 0; i < 50; i++ {
+		m := g.Mutate(s)
+		if m.Core != s.Core {
+			t.Fatal("mutation changed the core")
+		}
+		if m.Rand == s.Rand {
+			t.Fatal("mutation kept the same entropy")
+		}
+	}
+}
+
+// TestArchPathTerminates verifies on the ISA golden model that every
+// generated transient packet's architectural path ends in a trap (ecall or
+// the intended trigger exception) rather than running away.
+func TestArchPathTerminates(t *testing.T) {
+	g := New(13)
+	for _, trig := range AllTriggerTypes() {
+		seed := g.SeedFor(uarch.KindBOOM, trig, VariantDerived)
+		st, err := g.BuildStimulus(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cst, err := g.CompleteWindow(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := swapmem.NewSpace([]byte{9, 9, 9, 9, 9, 9, 9, 9})
+		img := cst.Transient.Image
+		space.WriteRaw(img.Base, img.Bytes())
+		sim := isasim.New(space, cst.Transient.Entry)
+		sim.Run(10000)
+		if sim.LastTrap == nil {
+			t.Errorf("%v: architectural path never trapped (pc=%#x)", trig, sim.PC)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package ift
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dejavuzz/internal/rtl"
+)
+
+// --- policy unit tests (Table 1 / Policies 1-2 verbatim) --------------------
+
+func TestAndTaintPolicy(t *testing.T) {
+	// Ot = (A & Bt) | (B & At) | (At & Bt)
+	cases := []struct{ a, b, at, bt, want uint64 }{
+		{0xff, 0xff, 0, 0, 0},          // no taint in, none out
+		{0xff, 0x00, 0, 0x0f, 0x0f},    // A=1 exposes B's taint
+		{0x00, 0xff, 0x0f, 0, 0x0f},    // B=1 exposes A's taint
+		{0x00, 0x00, 0x0f, 0, 0},       // B=0 masks A's taint
+		{0x00, 0x00, 0x0f, 0x0f, 0x0f}, // both tainted: tainted
+	}
+	for _, c := range cases {
+		if got := AndTaint(c.a, c.b, c.at, c.bt); got != c.want {
+			t.Errorf("AndTaint(%#x,%#x,%#x,%#x) = %#x, want %#x", c.a, c.b, c.at, c.bt, got, c.want)
+		}
+	}
+}
+
+// Property: AndTaint soundness — flipping any tainted input bit combination
+// never changes an untainted output bit.
+func TestAndTaintSoundness(t *testing.T) {
+	f := func(a, b, at, bt, flipA, flipB uint64) bool {
+		out := a & b
+		taint := AndTaint(a, b, at, bt)
+		a2 := a ^ (flipA & at)
+		b2 := b ^ (flipB & bt)
+		out2 := a2 & b2
+		return (out^out2)&^taint == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OrTaint soundness, same construction.
+func TestOrTaintSoundness(t *testing.T) {
+	f := func(a, b, at, bt, flipA, flipB uint64) bool {
+		taint := OrTaint(a, b, at, bt)
+		a2 := a ^ (flipA & at)
+		b2 := b ^ (flipB & bt)
+		return ((a|b)^(a2|b2)) & ^taint == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxPolicies(t *testing.T) {
+	a, b := uint64(0xaa), uint64(0x55)
+	// Untainted selection: pure data taint.
+	if got := MuxTaintCellIFT(0, false, a, b, 0x0f, 0xf0); got != 0x0f {
+		t.Errorf("mux sel=0: %#x", got)
+	}
+	if got := MuxTaintCellIFT(1, false, a, b, 0x0f, 0xf0); got != 0xf0 {
+		t.Errorf("mux sel=1: %#x", got)
+	}
+	// CellIFT: tainted selection taints A^B even with untainted data.
+	if got := MuxTaintCellIFT(0, true, a, b, 0, 0); got != a^b {
+		t.Errorf("cellift control taint: %#x, want %#x", got, a^b)
+	}
+	// diffIFT: same situation suppressed when instances agree.
+	if got := MuxTaintDiff(0, true, false, a, b, 0, 0); got != 0 {
+		t.Errorf("diffIFT suppression failed: %#x", got)
+	}
+	// ...and restored when they differ.
+	if got := MuxTaintDiff(0, true, true, a, b, 0, 0); got != a^b {
+		t.Errorf("diffIFT divergent control taint: %#x", got)
+	}
+}
+
+// Property: diffIFT mux taint is always a subset of CellIFT mux taint.
+func TestMuxDiffSubsetOfCellIFT(t *testing.T) {
+	f := func(sel, a, b, at, bt uint64, selT, diff bool) bool {
+		d := MuxTaintDiff(sel, selT, diff, a, b, at, bt)
+		c := MuxTaintCellIFT(sel, selT, a, b, at, bt)
+		return d&^c == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpPolicies(t *testing.T) {
+	if CmpTaintCellIFT(0, 0) != 0 || CmpTaintCellIFT(1, 0) != 1 {
+		t.Fatal("CellIFT comparison policy wrong")
+	}
+	if CmpTaintDiff(false, 1, 0) != 0 {
+		t.Fatal("diffIFT comparison: identical outcomes must not taint")
+	}
+	if CmpTaintDiff(true, 1, 0) != 1 {
+		t.Fatal("diffIFT comparison: divergent outcomes must taint")
+	}
+	if CmpTaintDiff(true, 0, 0) != 0 {
+		t.Fatal("diffIFT comparison: untainted inputs must not taint")
+	}
+}
+
+func TestRegEnPolicies(t *testing.T) {
+	d, q := uint64(0xf0), uint64(0x0f)
+	// Enabled: takes D's taint.
+	if got := RegEnTaintDiff(1, false, false, d, q, 0x3, 0xc); got != 0x3 {
+		t.Errorf("enabled reg taint: %#x", got)
+	}
+	// Disabled: holds Q's taint.
+	if got := RegEnTaintDiff(0, false, false, d, q, 0x3, 0xc); got != 0xc {
+		t.Errorf("disabled reg taint: %#x", got)
+	}
+	// Tainted enable, same across instances: suppressed under diffIFT...
+	if got := RegEnTaintDiff(0, true, false, d, q, 0, 0); got != 0 {
+		t.Errorf("diffIFT enable suppression: %#x", got)
+	}
+	// ...but not under CellIFT.
+	if got := RegEnTaintCellIFT(0, true, d, q, 0, 0); got != d^q {
+		t.Errorf("CellIFT enable taint: %#x, want %#x", got, d^q)
+	}
+}
+
+func TestMemPolicies(t *testing.T) {
+	if got := MemReadTaint(0xf, false, 0xff); got != 0xf {
+		t.Errorf("mem read data taint: %#x", got)
+	}
+	if got := MemReadTaint(0, true, 0xff); got != 0xff {
+		t.Errorf("mem read addr-ctl taint: %#x", got)
+	}
+	if got := MemWriteTaint(1, 0x3, 0xc, false, false, 0xff); got != 0x3 {
+		t.Errorf("mem write data taint: %#x", got)
+	}
+	if got := MemWriteTaint(0, 0x3, 0xc, false, false, 0xff); got != 0xc {
+		t.Errorf("mem write hold taint: %#x", got)
+	}
+	if got := MemWriteTaint(1, 0, 0, false, true, 0xff); got != 0xff {
+		t.Errorf("mem write addr-ctl taint: %#x", got)
+	}
+}
+
+func TestAddTaintCarrySpread(t *testing.T) {
+	if AddTaint(0, 0) != 0 {
+		t.Fatal("untainted add tainted")
+	}
+	if got := AddTaint(0x8, 0); got != uint64(0xfffffffffffffff8) {
+		t.Fatalf("carry spread from bit 3: %#x", got)
+	}
+}
+
+// --- shadow interpreter tests ------------------------------------------------
+
+// buildFig2 reproduces the paper's Figure 2 RoB circuit.
+func buildFig2() (*rtl.Design, rtl.SignalID, rtl.SignalID, rtl.SignalID, []*rtl.Reg) {
+	d := rtl.NewDesign("fig2").InModule("rob")
+	enqValid := d.Input("enq_valid", 1)
+	enqUopc := d.Input("enq_uopc", 7)
+	tail := d.Input("rob_tail_idx", 3)
+	var regs []*rtl.Reg
+	for e := 0; e < 8; e++ {
+		u := d.AddReg("uopc", 7, 0)
+		idx := d.Konst("idx", 3, uint64(e))
+		match := d.Eq("match", tail, idx)
+		upd := d.And("upd", match, enqValid)
+		next := d.Mux("next", upd, u.Q, enqUopc)
+		d.ConnectReg(u, next, rtl.Invalid)
+		regs = append(regs, u)
+	}
+	return d, enqValid, enqUopc, tail, regs
+}
+
+// TestFig2OverTainting demonstrates the paper's §2.2 scenario: a tainted
+// tail pointer explodes taint under CellIFT but not under diffIFT when both
+// instances agree.
+func TestFig2OverTainting(t *testing.T) {
+	d, enqValid, enqUopc, tail, _ := buildFig2()
+
+	cell := MustInstrument(d, ModeCellIFT)
+	cell.Poke(enqValid, 1, 0)
+	cell.Poke(enqUopc, 0x55, 0)
+	cell.Poke(tail, 3, 0x7) // tainted tail index (post-rollback)
+	cell.Step()
+	if cell.TaintSum() == 0 {
+		t.Fatal("CellIFT did not over-taint on tainted tail pointer")
+	}
+
+	pair, err := NewPair(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range []*Shadow{pair.A, pair.B} {
+		sh.Poke(enqValid, 1, 0)
+		sh.Poke(enqUopc, 0x55, 0)
+		sh.Poke(tail, 3, 0x7) // same value, still tainted
+	}
+	pair.Step()
+	if got := pair.A.TaintSum(); got != 0 {
+		t.Fatalf("diffIFT tainted %d bits despite identical selections", got)
+	}
+
+	// Divergent tails: control taint must propagate.
+	pair2, _ := NewPair(d)
+	pair2.A.Poke(enqValid, 1, 0)
+	pair2.A.Poke(enqUopc, 0x55, 0)
+	pair2.A.Poke(tail, 3, 0x7)
+	pair2.B.Poke(enqValid, 1, 0)
+	pair2.B.Poke(enqUopc, 0x55, 0)
+	pair2.B.Poke(tail, 5, 0x7)
+	pair2.Step()
+	if pair2.A.TaintSum() == 0 {
+		t.Fatal("diffIFT missed a genuinely divergent selection")
+	}
+}
+
+func TestDataTaintFlowsThroughMemory(t *testing.T) {
+	d := rtl.NewDesign("m").InModule("top")
+	raddr := d.Input("raddr", 3)
+	waddr := d.Input("waddr", 3)
+	wdata := d.Input("wdata", 8)
+	wen := d.Input("wen", 1)
+	m := d.AddMem("mem", 8, 8)
+	rd := d.MemRead("rd", m, raddr)
+	d.MemWrite(m, waddr, wdata, wen)
+	out := d.AddReg("out", 8, 0)
+	d.ConnectReg(out, rd, rtl.Invalid)
+
+	sh := MustInstrument(d, ModeCellIFT)
+	sh.Poke(waddr, 2, 0)
+	sh.Poke(wdata, 0x7f, 0x0f) // partially tainted write
+	sh.Poke(wen, 1, 0)
+	sh.Step()
+	sh.Poke(wen, 0, 0)
+	sh.Poke(raddr, 2, 0)
+	sh.Step()
+	if got := sh.RegT[len(sh.RegT)-1]; got != 0x0f {
+		t.Fatalf("taint through memory = %#x, want 0x0f", got)
+	}
+}
+
+func TestLivenessAnnotation(t *testing.T) {
+	// The paper's LFB example: lb's taint is live only while mshr_valid says
+	// the slot holds current data.
+	d := rtl.NewDesign("lfb").InModule("lsu")
+	valid := d.Input("mshr_valid_vec", 2)
+	waddr := d.Input("waddr", 1)
+	wdata := d.Input("wdata", 8)
+	wen := d.Input("wen", 1)
+	lb := d.AddMem("lb", 8, 2)
+	lb.Attrs[LivenessAttr] = "mshr_valid_vec"
+	d.MemWrite(lb, waddr, wdata, wen)
+
+	sh := MustInstrument(d, ModeCellIFT)
+	sh.Poke(waddr, 0, 0)
+	sh.Poke(wdata, 0xff, 0xff) // tainted fill
+	sh.Poke(wen, 1, 0)
+	sh.Poke(valid, 0b01, 0)
+	sh.Step()
+
+	sh.Poke(wen, 0, 0)
+	sh.Poke(valid, 0b01, 0)
+	sh.Sim.Eval()
+	if got := sh.LiveTaintedSinks(); len(got) != 1 {
+		t.Fatalf("live sinks with valid MSHR: %v", got)
+	}
+	// MSHR retires: data is stale, taint no longer exploitable.
+	sh.Poke(valid, 0b00, 0)
+	sh.Sim.Eval()
+	if got := sh.LiveTaintedSinks(); len(got) != 0 {
+		t.Fatalf("stale LFB data still reported live: %v", got)
+	}
+}
+
+func TestUnknownLivenessSignalRejected(t *testing.T) {
+	d := rtl.NewDesign("bad")
+	r := d.AddReg("r", 8, 0)
+	r.Attrs[LivenessAttr] = "missing_signal"
+	if _, err := Instrument(d, ModeCellIFT); err == nil {
+		t.Fatal("bogus liveness annotation accepted")
+	}
+}
+
+func TestModuleTaintCounts(t *testing.T) {
+	d := rtl.NewDesign("mods")
+	in := d.Input("in", 8)
+	d.InModule("a")
+	ra := d.AddReg("ra", 8, 0)
+	d.ConnectReg(ra, in, rtl.Invalid)
+	d.InModule("b")
+	rb := d.AddReg("rb", 8, 0)
+	d.ConnectReg(rb, ra.Q, rtl.Invalid)
+
+	sh := MustInstrument(d, ModeCellIFT)
+	sh.Poke(in, 1, 0xff)
+	sh.Step()
+	counts := sh.ModuleTaintCounts()
+	if counts["a"] != 1 || counts["b"] != 0 {
+		t.Fatalf("after 1 cycle: %v", counts)
+	}
+	sh.Step()
+	counts = sh.ModuleTaintCounts()
+	if counts["b"] != 1 {
+		t.Fatalf("after 2 cycles: %v", counts)
+	}
+}

@@ -1,0 +1,174 @@
+// Package ift implements hardware dynamic information flow tracking over the
+// rtl IR: the state-of-the-art CellIFT policies (the paper's Policies 1 and
+// 2) and DejaVuzz's differential information flow tracking (diffIFT, the
+// paper's Table 1), plus taint liveness annotations.
+//
+// The taint-propagation policy functions are exported so that the behavioural
+// core model in internal/uarch propagates taints with exactly the same rules
+// as the netlist-level shadow interpreter.
+package ift
+
+import "math/bits"
+
+// AndTaint implements Policy 1 for the AND cell:
+//
+//	Ot = (A & Bt) | (B & At) | (At & Bt)
+func AndTaint(a, b, at, bt uint64) uint64 {
+	return (a & bt) | (b & at) | (at & bt)
+}
+
+// OrTaint is the dual of Policy 1 for the OR cell: a 1 on an untainted input
+// hides the other input.
+func OrTaint(a, b, at, bt uint64) uint64 {
+	return (^a & bt) | (^b & at) | (at & bt)
+}
+
+// XorTaint: every tainted input bit flips the output bit.
+func XorTaint(at, bt uint64) uint64 { return at | bt }
+
+// NotTaint: inversion preserves taint.
+func NotTaint(at uint64) uint64 { return at }
+
+// AddTaint approximates addition: a tainted bit can influence its own and all
+// higher result positions through carries. The mask fills upward from the
+// lowest tainted bit, clipped to the word width by the caller.
+func AddTaint(at, bt uint64) uint64 {
+	t := at | bt
+	if t == 0 {
+		return 0
+	}
+	low := uint(bits.TrailingZeros64(t))
+	return ^uint64(0) << low
+}
+
+// ShiftTaint shifts data taint along with the data. If the shift amount is
+// itself tainted, the whole output is control-tainted when ctl is true
+// (CellIFT: amount tainted; diffIFT: amounts differ across instances).
+func ShiftTaint(dataTaint uint64, amount uint64, left bool, amtTainted, ctl bool, mask uint64) uint64 {
+	var t uint64
+	if left {
+		t = dataTaint << (amount & 63)
+	} else {
+		t = dataTaint >> (amount & 63)
+	}
+	if amtTainted && ctl {
+		t = mask
+	}
+	return t & mask
+}
+
+// MuxDataTaint is the data component of the MUX policy: S ? Bt : At.
+func MuxDataTaint(sel uint64, at, bt uint64) uint64 {
+	if sel&1 != 0 {
+		return bt
+	}
+	return at
+}
+
+// MuxTaintCellIFT implements Policy 2:
+//
+//	Ot = (S ? Bt : At) | (St ? (A^B)|(At|Bt) : 0)
+//
+// The second term is the control taint responsible for over-tainting.
+func MuxTaintCellIFT(sel uint64, selTainted bool, a, b, at, bt uint64) uint64 {
+	t := MuxDataTaint(sel, at, bt)
+	if selTainted {
+		t |= (a ^ b) | at | bt
+	}
+	return t
+}
+
+// MuxTaintDiff implements Table 1's multiplexer rule:
+//
+//	Ot = (S ? Bt : At) | (St & Sdiff ? (A^B)|(At|Bt) : 0)
+//
+// Control taint propagates only when the selection signal is tainted AND the
+// two DUT instances actually chose differently.
+func MuxTaintDiff(sel uint64, selTainted, selDiff bool, a, b, at, bt uint64) uint64 {
+	t := MuxDataTaint(sel, at, bt)
+	if selTainted && selDiff {
+		t |= (a ^ b) | at | bt
+	}
+	return t
+}
+
+// CmpTaintCellIFT is the comparison-cell policy in CellIFT: the 1-bit output
+// is tainted whenever any input bit is tainted.
+func CmpTaintCellIFT(at, bt uint64) uint64 {
+	if at|bt != 0 {
+		return 1
+	}
+	return 0
+}
+
+// CmpTaintDiff is Table 1's comparison rule: Ot = Odiff & |(At|Bt).
+// The output is tainted only if the comparison outcome differs between the
+// instances and an input was tainted.
+func CmpTaintDiff(outDiff bool, at, bt uint64) uint64 {
+	if outDiff && at|bt != 0 {
+		return 1
+	}
+	return 0
+}
+
+// RegEnTaintCellIFT is the enabled-register policy without diff gating:
+//
+//	Qt' = (En ? Dt : Qt) | (Ent ? (D^Q)|(Dt|Qt) : 0)
+func RegEnTaintCellIFT(en uint64, enTainted bool, d, q, dt, qt uint64) uint64 {
+	var t uint64
+	if en&1 != 0 {
+		t = dt
+	} else {
+		t = qt
+	}
+	if enTainted {
+		t |= (d ^ q) | dt | qt
+	}
+	return t
+}
+
+// RegEnTaintDiff is Table 1's enabled-register rule:
+//
+//	Qt' = (En ? Dt : Qt) | (Ent & Endiff ? (D^Q)|(Dt|Qt) : 0)
+func RegEnTaintDiff(en uint64, enTainted, enDiff bool, d, q, dt, qt uint64) uint64 {
+	var t uint64
+	if en&1 != 0 {
+		t = dt
+	} else {
+		t = qt
+	}
+	if enTainted && enDiff {
+		t |= (d ^ q) | dt | qt
+	}
+	return t
+}
+
+// MemReadTaint is Table 1's memory-read rule:
+//
+//	Ot = memt[addr] | {WIDTH{addr_ctl}}
+//
+// where addr_ctl is addrTainted for CellIFT-style propagation or
+// addrTainted && addrDiff for diffIFT.
+func MemReadTaint(entryTaint uint64, addrCtl bool, mask uint64) uint64 {
+	t := entryTaint
+	if addrCtl {
+		t = mask
+	}
+	return t & mask
+}
+
+// MemWriteTaint is Table 1's memory-write rule for the written entry:
+//
+//	memt'[addr] = (Wen ? Wdatat : memt[addr]) | {WIDTH{wen_ctl | (addr_ctl & Wen)}}
+func MemWriteTaint(wen uint64, wdataTaint, entryTaint uint64, wenCtl, addrCtl bool, mask uint64) uint64 {
+	var t uint64
+	if wen&1 != 0 {
+		t = wdataTaint
+	} else {
+		t = entryTaint
+	}
+	if wenCtl || (addrCtl && wen&1 != 0) {
+		t = mask
+	}
+	return t & mask
+}

@@ -1,0 +1,92 @@
+package isa
+
+import "fmt"
+
+// ABI register names, index = register number.
+var intRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var fpRegNames = [32]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+var regLookup = func() map[string]int {
+	m := make(map[string]int)
+	for i, n := range intRegNames {
+		m[n] = i
+		m[fmt.Sprintf("x%d", i)] = i
+	}
+	m["fp"] = 8
+	return m
+}()
+
+var fregLookup = func() map[string]int {
+	m := make(map[string]int)
+	for i, n := range fpRegNames {
+		m[n] = i
+		m[fmt.Sprintf("f%d", i)] = i
+	}
+	return m
+}()
+
+// RegName returns the ABI name of integer register r.
+func RegName(r int) string {
+	if r >= 0 && r < 32 {
+		return intRegNames[r]
+	}
+	return fmt.Sprintf("x?%d", r)
+}
+
+// FRegName returns the ABI name of floating-point register r.
+func FRegName(r int) string {
+	if r >= 0 && r < 32 {
+		return fpRegNames[r]
+	}
+	return fmt.Sprintf("f?%d", r)
+}
+
+// RegNum parses an integer register name ("x5", "t0", ...). Returns -1 if unknown.
+func RegNum(name string) int {
+	if r, ok := regLookup[name]; ok {
+		return r
+	}
+	return -1
+}
+
+// FRegNum parses a floating-point register name. Returns -1 if unknown.
+func FRegNum(name string) int {
+	if r, ok := fregLookup[name]; ok {
+		return r
+	}
+	return -1
+}
+
+// Conventional register numbers used throughout the generator.
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegT0   = 5
+	RegT1   = 6
+	RegT2   = 7
+	RegS0   = 8
+	RegS1   = 9
+	RegA0   = 10
+	RegA1   = 11
+	RegA2   = 12
+	RegA3   = 13
+	RegA4   = 14
+	RegA5   = 15
+	RegS2   = 18
+	RegT3   = 28
+	RegT4   = 29
+	RegT5   = 30
+	RegT6   = 31
+)

@@ -1,0 +1,202 @@
+package isasim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dejavuzz/internal/isa"
+	"dejavuzz/internal/mem"
+)
+
+func newSim(t *testing.T, src string) *Sim {
+	t.Helper()
+	sp := mem.NewSpace()
+	sp.MustAddRegion(mem.Region{Name: "ram", Base: 0x1000, Size: 0x4000,
+		Perm: mem.PermRead | mem.PermWrite | mem.PermExec})
+	sp.MustAddRegion(mem.Region{Name: "guard", Base: 0x8000, Size: 0x1000, Perm: 0, Fault: mem.FaultPage})
+	p := isa.MustAsm(0x1000, src)
+	sp.WriteRaw(p.Base, p.Bytes())
+	return New(sp, 0x1000)
+}
+
+func TestArithmetic(t *testing.T) {
+	s := newSim(t, `
+		li   a0, -7
+		li   a1, 3
+		add  a2, a0, a1
+		sub  a3, a0, a1
+		mul  a4, a0, a1
+		div  a5, a0, a1
+		rem  a6, a0, a1
+		sltu a7, a1, a0
+		slt  s2, a0, a1
+		sraw s3, a0, a1
+		ecall
+	`)
+	s.Run(100)
+	want := map[int]int64{12: -4, 13: -10, 14: -21, 15: -2, 16: -1, 17: 1, 18: 1}
+	for r, v := range want {
+		if got := int64(s.X[r]); got != v {
+			t.Errorf("%s = %d, want %d", isa.RegName(r), got, v)
+		}
+	}
+	if s.LastTrap == nil || s.LastTrap.Cause != CauseEnvCall {
+		t.Fatalf("trap = %v", s.LastTrap)
+	}
+}
+
+func TestBranchesAndCalls(t *testing.T) {
+	s := newSim(t, `
+		li   s0, 0
+		li   t0, 3
+	loop:
+		addi s0, s0, 1
+		addi t0, t0, -1
+		bnez t0, loop
+		call fn
+		addi s0, s0, 100
+		ecall
+	fn:
+		addi s0, s0, 10
+		ret
+	`)
+	s.Run(100)
+	if s.X[8] != 113 {
+		t.Fatalf("s0 = %d, want 113", s.X[8])
+	}
+}
+
+func TestMemoryAndFaults(t *testing.T) {
+	s := newSim(t, `
+		li t0, 0x2000
+		li t1, -559038737
+		sw t1, 0(t0)
+		lw t2, 0(t0)
+		lwu t3, 0(t0)
+		lbu t4, 3(t0)
+		ecall
+	`)
+	s.Run(100)
+	if int32(s.X[7]) != -559038737 {
+		t.Errorf("lw sign extension: %#x", s.X[7])
+	}
+	if s.X[28] != uint64(uint32(0xdeadbeef)) {
+		t.Errorf("lwu zero extension: %#x", s.X[28])
+	}
+	if s.X[29] != 0xde {
+		t.Errorf("lbu: %#x", s.X[29])
+	}
+}
+
+func TestTrapCauses(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Cause
+	}{
+		{"li t0, 0x8000\nld t1, 0(t0)", CauseLoadPageFault},
+		{"li t0, 0x8000\nsd t1, 0(t0)", CauseStorePageFault},
+		{"li t0, 0x2001\nld t1, 0(t0)", CauseLoadMisalign},
+		{"li t0, 0x2001\nsd t1, 0(t0)", CauseStoreMisalign},
+		{".illegal", CauseIllegalInstruction},
+		{"ebreak", CauseBreakpoint},
+		{"li t0, 0x20000\nld t1, 0(t0)", CauseLoadAccessFault},
+		{"li t0, 0x20000\njr t0", CauseFetchAccessFault},
+	}
+	for _, c := range cases {
+		s := newSim(t, c.src)
+		s.Run(100)
+		if s.LastTrap == nil || s.LastTrap.Cause != c.want {
+			t.Errorf("%q: trap = %v, want %v", c.src, s.LastTrap, c.want)
+		}
+	}
+}
+
+func TestTrapHookRedirect(t *testing.T) {
+	s := newSim(t, `
+		ecall
+		nop
+	target:
+		li s0, 55
+		ecall
+	`)
+	calls := 0
+	s.TrapHook = func(tr Trap) TrapAction {
+		calls++
+		if calls == 1 {
+			return TrapAction{NewPC: 0x1008}
+		}
+		return TrapAction{Halt: true}
+	}
+	s.Run(100)
+	if s.X[8] != 55 {
+		t.Fatalf("s0 = %d (redirect failed)", s.X[8])
+	}
+	if calls != 2 {
+		t.Fatalf("trap hook called %d times", calls)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	s := newSim(t, `
+		li t0, 0x2000
+		li t1, 0x4010000000000000   # 4.0
+		sd t1, 0(t0)
+		fld fa0, 0(t0)
+		fadd.d fa1, fa0, fa0        # 8.0
+		fdiv.d fa2, fa1, fa0        # 2.0
+		fmv.x.d a0, fa2
+		ecall
+	`)
+	s.Run(100)
+	if s.X[10] != 0x4000000000000000 { // 2.0
+		t.Fatalf("fdiv result %#x", s.X[10])
+	}
+}
+
+// Property: division semantics follow the RISC-V spec for all inputs,
+// including division by zero and overflow.
+func TestDivRemProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		gotDiv := divS(a, b)
+		gotRem := remS(a, b)
+		if b == 0 {
+			return gotDiv == ^uint64(0) && gotRem == uint64(a)
+		}
+		if a == -a && a < 0 && b == -1 { // MinInt64 / -1
+			return gotDiv == uint64(a) && gotRem == 0
+		}
+		return int64(gotDiv) == a/b && int64(gotRem) == a%b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mulh agrees with 128-bit reference arithmetic via the identity
+// (a*b) >> 64 == mulh for small operands where the product fits.
+func TestMulhProperty(t *testing.T) {
+	f := func(a32, b32 int32) bool {
+		a, b := int64(a32), int64(b32)
+		// Product fits in 64 bits, so the high half is the sign extension.
+		lo := a * b
+		wantHi := uint64(lo >> 63)
+		return mulh(a, b) == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstretAndHalt(t *testing.T) {
+	s := newSim(t, "nop\nnop\nnop\necall")
+	n := s.Run(100)
+	if n != 3 { // the halting ecall itself is not counted
+		t.Fatalf("ran %d instructions, want 3", n)
+	}
+	if s.Instret != 3 { // ecall traps before retiring
+		t.Fatalf("instret = %d, want 3", s.Instret)
+	}
+	if s.Step() {
+		t.Fatal("step after halt succeeded")
+	}
+}

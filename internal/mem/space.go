@@ -1,0 +1,315 @@
+// Package mem models the physical address space shared by the ISA golden
+// model, the out-of-order core simulator and the dynamic swappable memory.
+//
+// A Space is a flat byte store partitioned into regions. Each region carries
+// access permissions and a fault kind so that the same load can raise either
+// an access fault (PMP-style) or a page fault (translation-style), which the
+// stimulus generator uses to pick the transient-window trigger type.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Perm is a permission bit set for a region.
+type Perm uint8
+
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// FaultKind distinguishes how a denied access is reported.
+type FaultKind uint8
+
+const (
+	// FaultAccess raises load/store/fetch access faults (PMP semantics).
+	FaultAccess FaultKind = iota
+	// FaultPage raises load/store/fetch page faults (translation semantics).
+	FaultPage
+)
+
+// AccessKind describes what the requester is doing.
+type AccessKind uint8
+
+const (
+	AccessLoad AccessKind = iota
+	AccessStore
+	AccessFetch
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessLoad:
+		return "load"
+	case AccessStore:
+		return "store"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access"
+}
+
+// Fault reports a denied or unmapped memory access.
+type Fault struct {
+	Addr uint64
+	Kind AccessKind
+	Page bool // true: page fault, false: access fault
+}
+
+func (f *Fault) Error() string {
+	name := "access fault"
+	if f.Page {
+		name = "page fault"
+	}
+	return fmt.Sprintf("mem: %s %s at %#x", f.Kind, name, f.Addr)
+}
+
+// Region is a contiguous range of the space with uniform permissions.
+type Region struct {
+	Name  string
+	Base  uint64
+	Size  uint64
+	Perm  Perm
+	Fault FaultKind
+}
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// Space is a byte-addressable physical memory with permission regions.
+// The zero value is unusable; construct with NewSpace.
+type Space struct {
+	regions []*Region
+	bytes   map[uint64][]byte // base -> backing bytes, one entry per region
+	taint   map[uint64][]byte // parallel taint shadow (bit per data bit)
+}
+
+// NewSpace returns an empty space.
+func NewSpace() *Space {
+	return &Space{
+		bytes: make(map[uint64][]byte),
+		taint: make(map[uint64][]byte),
+	}
+}
+
+// AddRegion registers a new region and allocates its backing store.
+// Regions must not overlap.
+func (s *Space) AddRegion(r Region) (*Region, error) {
+	if r.Size == 0 {
+		return nil, fmt.Errorf("mem: region %q has zero size", r.Name)
+	}
+	for _, old := range s.regions {
+		if r.Base < old.Base+old.Size && old.Base < r.Base+r.Size {
+			return nil, fmt.Errorf("mem: region %q overlaps %q", r.Name, old.Name)
+		}
+	}
+	reg := r
+	s.regions = append(s.regions, &reg)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+	s.bytes[reg.Base] = make([]byte, reg.Size)
+	s.taint[reg.Base] = make([]byte, reg.Size)
+	return &reg, nil
+}
+
+// MustAddRegion is AddRegion that panics on error; intended for static layouts.
+func (s *Space) MustAddRegion(r Region) *Region {
+	reg, err := s.AddRegion(r)
+	if err != nil {
+		panic(err)
+	}
+	return reg
+}
+
+// Region returns the region containing addr, or nil.
+func (s *Space) Region(addr uint64) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].Base+s.regions[i].Size > addr
+	})
+	if i < len(s.regions) && s.regions[i].Contains(addr) {
+		return s.regions[i]
+	}
+	return nil
+}
+
+// RegionByName returns the region with the given name, or nil.
+func (s *Space) RegionByName(name string) *Region {
+	for _, r := range s.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Regions returns all regions ordered by base address.
+func (s *Space) Regions() []*Region { return s.regions }
+
+// SetPerm atomically changes a region's permissions; this is how the swap
+// runtime revokes secret access between the training and transient phases.
+func (s *Space) SetPerm(name string, p Perm) error {
+	r := s.RegionByName(name)
+	if r == nil {
+		return fmt.Errorf("mem: no region %q", name)
+	}
+	r.Perm = p
+	return nil
+}
+
+// Check validates an access of size bytes without performing it.
+func (s *Space) Check(addr uint64, size int, kind AccessKind) error {
+	r := s.Region(addr)
+	if r == nil || !r.Contains(addr+uint64(size)-1) {
+		return &Fault{Addr: addr, Kind: kind, Page: false}
+	}
+	need := PermRead
+	switch kind {
+	case AccessStore:
+		need = PermWrite
+	case AccessFetch:
+		need = PermExec
+	}
+	if r.Perm&need == 0 {
+		return &Fault{Addr: addr, Kind: kind, Page: r.Fault == FaultPage}
+	}
+	return nil
+}
+
+func (s *Space) slice(addr uint64, size int) ([]byte, []byte, bool) {
+	r := s.Region(addr)
+	if r == nil || !r.Contains(addr+uint64(size)-1) {
+		return nil, nil, false
+	}
+	off := addr - r.Base
+	return s.bytes[r.Base][off : off+uint64(size)], s.taint[r.Base][off : off+uint64(size)], true
+}
+
+// ReadRaw reads without permission checks (used for cache refills and debug).
+// Unmapped bytes read as zero.
+func (s *Space) ReadRaw(addr uint64, size int) []byte {
+	out := make([]byte, size)
+	if b, _, ok := s.slice(addr, size); ok {
+		copy(out, b)
+	} else {
+		// Partial overlap: copy byte by byte.
+		for i := 0; i < size; i++ {
+			if b, _, ok := s.slice(addr+uint64(i), 1); ok {
+				out[i] = b[0]
+			}
+		}
+	}
+	return out
+}
+
+// WriteRaw writes without permission checks. Unmapped bytes are dropped.
+func (s *Space) WriteRaw(addr uint64, data []byte) {
+	if b, _, ok := s.slice(addr, len(data)); ok {
+		copy(b, data)
+		return
+	}
+	for i, v := range data {
+		if b, _, ok := s.slice(addr+uint64(i), 1); ok {
+			b[0] = v
+		}
+	}
+}
+
+// TaintRaw reads the taint shadow of [addr, addr+size).
+func (s *Space) TaintRaw(addr uint64, size int) []byte {
+	out := make([]byte, size)
+	for i := 0; i < size; i++ {
+		if _, t, ok := s.slice(addr+uint64(i), 1); ok {
+			out[i] = t[0]
+		}
+	}
+	return out
+}
+
+// SetTaint marks [addr, addr+size) fully tainted (every bit).
+func (s *Space) SetTaint(addr uint64, size int, tainted bool) {
+	v := byte(0)
+	if tainted {
+		v = 0xff
+	}
+	for i := 0; i < size; i++ {
+		if _, t, ok := s.slice(addr+uint64(i), 1); ok {
+			t[0] = v
+		}
+	}
+}
+
+// Read64 reads a little-endian 64-bit word and its taint mask, unchecked.
+func (s *Space) Read64(addr uint64) (val, taint uint64) {
+	b := s.ReadRaw(addr, 8)
+	t := s.TaintRaw(addr, 8)
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(t)
+}
+
+// Write64 writes a little-endian 64-bit word and its taint mask, unchecked.
+func (s *Space) Write64(addr uint64, val, taint uint64) {
+	var b, t [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	binary.LittleEndian.PutUint64(t[:], taint)
+	s.WriteRaw(addr, b[:])
+	for i := 0; i < 8; i++ {
+		if _, tt, ok := s.slice(addr+uint64(i), 1); ok {
+			tt[0] = t[i]
+		}
+	}
+}
+
+// Read reads size bytes (1,2,4,8) with permission checks, returning the
+// zero-extended value, taint mask and fault (if any). A faulting read still
+// returns the underlying data: the transient-forwarding bug model in the core
+// decides whether that data is architecturally visible.
+func (s *Space) Read(addr uint64, size int, kind AccessKind) (val, taint uint64, err error) {
+	err = s.Check(addr, size, kind)
+	b := s.ReadRaw(addr, size)
+	t := s.TaintRaw(addr, size)
+	for i := size - 1; i >= 0; i-- {
+		val = val<<8 | uint64(b[i])
+		taint = taint<<8 | uint64(t[i])
+	}
+	return val, taint, err
+}
+
+// Write stores size bytes with permission checks.
+func (s *Space) Write(addr uint64, size int, val, taint uint64, kind AccessKind) error {
+	if err := s.Check(addr, size, kind); err != nil {
+		return err
+	}
+	b := make([]byte, size)
+	t := make([]byte, size)
+	for i := 0; i < size; i++ {
+		b[i] = byte(val >> (8 * i))
+		t[i] = byte(taint >> (8 * i))
+	}
+	s.WriteRaw(addr, b)
+	if bs, ts, ok := s.slice(addr, size); ok {
+		_ = bs
+		copy(ts, t)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the space (regions, bytes and taints).
+// The swap runtime clones the template space once per DUT instance.
+func (s *Space) Clone() *Space {
+	c := NewSpace()
+	for _, r := range s.regions {
+		nr := *r
+		c.regions = append(c.regions, &nr)
+		b := make([]byte, len(s.bytes[r.Base]))
+		copy(b, s.bytes[r.Base])
+		c.bytes[nr.Base] = b
+		t := make([]byte, len(s.taint[r.Base]))
+		copy(t, s.taint[r.Base])
+		c.taint[nr.Base] = t
+	}
+	return c
+}

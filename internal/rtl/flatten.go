@@ -1,0 +1,130 @@
+package rtl
+
+import "fmt"
+
+// FlattenMemories rewrites a design so that every memory becomes Depth
+// discrete registers with address-decoded mux trees for reads and per-entry
+// write enables.
+//
+// This is what cell-level instrumentation (CellIFT) requires: it cannot see
+// word-addressed memories, so memories are exploded before instrumentation.
+// The pass exists to reproduce the paper's Table 4 compile-time gap — the
+// flattened design is dramatically larger, and on the XiangShan-scale design
+// instrumentation over the flattened netlist blows past any reasonable
+// budget.
+func FlattenMemories(d *Design) *Design {
+	nd := NewDesign(d.Name + ".flat")
+	sigMap := make([]SignalID, len(d.Signals))
+	for i := range sigMap {
+		sigMap[i] = Invalid
+	}
+
+	// Memory entry registers, created before any cells so reads can see them.
+	memRegs := make([][]*Reg, len(d.Mems))
+	for mi, m := range d.Mems {
+		nd.InModule(m.Module)
+		regs := make([]*Reg, m.Depth)
+		for e := 0; e < m.Depth; e++ {
+			regs[e] = nd.AddReg(fmt.Sprintf("%s_%d", m.Name, e), m.Width, m.Init[e])
+			for k, v := range m.Attrs {
+				regs[e].Attrs[k] = v
+			}
+			regs[e].Attrs["flattened_from"] = m.Name
+			regs[e].Attrs["flat_index"] = fmt.Sprint(e)
+		}
+		memRegs[mi] = regs
+	}
+
+	// Plain registers.
+	regMap := make(map[*Reg]*Reg, len(d.Regs))
+	for _, r := range d.Regs {
+		nd.InModule(r.Module)
+		nr := nd.AddReg(r.Name, r.Width, r.Init)
+		for k, v := range r.Attrs {
+			nr.Attrs[k] = v
+		}
+		regMap[r] = nr
+		sigMap[r.Q] = nr.Q
+	}
+
+	mapSig := func(s SignalID) SignalID {
+		if s == Invalid {
+			return Invalid
+		}
+		ns := sigMap[s]
+		if ns == Invalid {
+			panic(fmt.Sprintf("rtl: flatten: unmapped signal %q", d.Signals[s].Name))
+		}
+		return ns
+	}
+
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		name := d.Signals[c.Out].Name
+		width := d.Signals[c.Out].Width
+		switch c.Kind {
+		case CellBufIn:
+			sigMap[c.Out] = nd.Input(name, width)
+		case CellConst:
+			sigMap[c.Out] = nd.Konst(name, width, c.Const)
+		case CellMemRd:
+			m := d.Mems[c.Mem]
+			regs := memRegs[c.Mem]
+			addr := mapSig(c.In[0])
+			// Mux chain: out = regs[addr]
+			cur := regs[0].Q
+			for e := 1; e < m.Depth; e++ {
+				idx := nd.Konst(fmt.Sprintf("%s_rdidx%d_%d", m.Name, ci, e), d.Width(c.In[0]), uint64(e))
+				hit := nd.Eq(fmt.Sprintf("%s_rdhit%d_%d", m.Name, ci, e), addr, idx)
+				cur = nd.Mux(fmt.Sprintf("%s_rdmux%d_%d", m.Name, ci, e), hit, cur, regs[e].Q)
+			}
+			// Rename final output to the original name via 0-based slice copy.
+			out := nd.Slice(name, cur, 0, width)
+			sigMap[c.Out] = out
+		default:
+			ins := make([]SignalID, len(c.In))
+			for i, s := range c.In {
+				ins[i] = mapSig(s)
+			}
+			out := nd.newSignal(name, width)
+			nd.emit(Cell{Kind: c.Kind, Out: out, In: ins, Const: c.Const, Lo: c.Lo})
+			sigMap[c.Out] = out
+		}
+	}
+
+	// Register next-value connections.
+	for _, r := range d.Regs {
+		nr := regMap[r]
+		if r.D != Invalid {
+			en := Invalid
+			if r.En != Invalid {
+				en = mapSig(r.En)
+			}
+			nd.ConnectReg(nr, mapSig(r.D), en)
+		}
+	}
+
+	// Memory write ports become per-entry enable decodes.
+	for mi, m := range d.Mems {
+		regs := memRegs[mi]
+		for wi, w := range m.Writes {
+			addr := mapSig(w.Addr)
+			data := mapSig(w.Data)
+			en := mapSig(w.En)
+			for e := 0; e < m.Depth; e++ {
+				idx := nd.Konst(fmt.Sprintf("%s_w%didx_%d", m.Name, wi, e), d.Width(w.Addr), uint64(e))
+				hit := nd.Eq(fmt.Sprintf("%s_w%dhit_%d", m.Name, wi, e), addr, idx)
+				enE := nd.And(fmt.Sprintf("%s_w%den_%d", m.Name, wi, e), hit, en)
+				r := regs[e]
+				if r.D == Invalid {
+					nd.ConnectReg(r, nd.Mux(fmt.Sprintf("%s_w%dnext_%d", m.Name, wi, e), enE, r.Q, data), Invalid)
+				} else {
+					// Later write ports override earlier ones.
+					next := nd.Mux(fmt.Sprintf("%s_w%dnext_%d", m.Name, wi, e), enE, r.D, data)
+					nd.ConnectReg(r, next, Invalid)
+				}
+			}
+		}
+	}
+	return nd
+}

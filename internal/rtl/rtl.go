@@ -1,0 +1,342 @@
+// Package rtl implements a word-level RTL intermediate representation and a
+// cycle-accurate two-phase simulator for it.
+//
+// The IR models exactly the cell vocabulary the paper's Table 1 taint
+// policies are defined over: combinational word cells (logic, arithmetic,
+// comparison, shift, mux, slice/concat), registers with optional enables, and
+// word-addressed memories with combinational read ports and clocked write
+// ports. Designs are built programmatically (the Go analogue of Chisel
+// elaboration); the ift package instruments them with CellIFT or diffIFT
+// shadow state.
+package rtl
+
+import "fmt"
+
+// SignalID names a wire in a design. Signals are single words up to 64 bits.
+type SignalID int
+
+// Invalid is the zero-value "no signal" marker.
+const Invalid SignalID = -1
+
+// CellKind enumerates combinational cell types.
+type CellKind int
+
+const (
+	CellConst CellKind = iota
+	CellNot
+	CellAnd
+	CellOr
+	CellXor
+	CellAdd
+	CellSub
+	CellEq
+	CellNe
+	CellLt  // unsigned <
+	CellShl // shift left by in[1]
+	CellShr // logical shift right by in[1]
+	CellMux // in[0]=sel (1 bit), in[1]=a (sel=0), in[2]=b (sel=1)
+	CellConcat
+	CellSlice
+	CellRedOr // |x -> 1 bit
+	CellMemRd // combinational memory read: in[0]=addr
+	CellBufIn // module input placeholder (testbench poke)
+)
+
+func (k CellKind) String() string {
+	names := map[CellKind]string{
+		CellConst: "const", CellNot: "not", CellAnd: "and", CellOr: "or",
+		CellXor: "xor", CellAdd: "add", CellSub: "sub", CellEq: "eq",
+		CellNe: "ne", CellLt: "lt", CellShl: "shl", CellShr: "shr",
+		CellMux: "mux", CellConcat: "concat", CellSlice: "slice",
+		CellRedOr: "redor", CellMemRd: "memrd", CellBufIn: "input",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("cell(%d)", int(k))
+}
+
+// Cell is a combinational operation producing one output signal.
+type Cell struct {
+	Kind  CellKind
+	Out   SignalID
+	In    []SignalID
+	Const uint64
+	Lo    int // slice low bit
+	Mem   int // memory index for CellMemRd
+}
+
+// Reg is a clocked state element.
+type Reg struct {
+	Name   string
+	Module string
+	Width  int
+	Q      SignalID // current value, readable combinationally
+	D      SignalID // next value, connected after creation
+	En     SignalID // write enable (Invalid = always enabled)
+	Init   uint64
+	Attrs  map[string]string
+}
+
+// WritePort is a clocked memory write port.
+type WritePort struct {
+	Addr SignalID
+	Data SignalID
+	En   SignalID
+}
+
+// Mem is a word-addressed memory (register array in Chisel terms).
+type Mem struct {
+	Name   string
+	Module string
+	Width  int
+	Depth  int
+	Writes []WritePort
+	Init   []uint64
+	Attrs  map[string]string
+}
+
+// Signal metadata.
+type Signal struct {
+	Name  string
+	Width int
+}
+
+// Design is an elaborated netlist.
+type Design struct {
+	Name    string
+	Signals []Signal
+	Cells   []Cell
+	Regs    []*Reg
+	Mems    []*Mem
+	Inputs  []SignalID
+
+	defined []bool
+	module  string // current module path during building
+}
+
+// NewDesign returns an empty design.
+func NewDesign(name string) *Design {
+	return &Design{Name: name}
+}
+
+// InModule sets the module path attributed to subsequently created state.
+func (d *Design) InModule(path string) *Design {
+	d.module = path
+	return d
+}
+
+// Module returns the current module path.
+func (d *Design) Module() string { return d.module }
+
+func (d *Design) newSignal(name string, width int) SignalID {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("rtl: bad width %d for %s", width, name))
+	}
+	id := SignalID(len(d.Signals))
+	d.Signals = append(d.Signals, Signal{Name: name, Width: width})
+	d.defined = append(d.defined, false)
+	return id
+}
+
+// Width returns a signal's width in bits.
+func (d *Design) Width(s SignalID) int { return d.Signals[s].Width }
+
+// Mask returns the value mask for a signal's width.
+func (d *Design) Mask(s SignalID) uint64 { return WidthMask(d.Signals[s].Width) }
+
+// WidthMask returns a mask with the low w bits set.
+func WidthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+func (d *Design) use(ins ...SignalID) {
+	for _, s := range ins {
+		if s == Invalid {
+			continue
+		}
+		if !d.defined[s] {
+			panic(fmt.Sprintf("rtl: signal %q used before definition", d.Signals[s].Name))
+		}
+	}
+}
+
+func (d *Design) emit(c Cell) SignalID {
+	d.use(c.In...)
+	d.Cells = append(d.Cells, c)
+	d.defined[c.Out] = true
+	return c.Out
+}
+
+// Input declares a testbench-driven input signal.
+func (d *Design) Input(name string, width int) SignalID {
+	s := d.newSignal(name, width)
+	d.Inputs = append(d.Inputs, s)
+	d.emit(Cell{Kind: CellBufIn, Out: s})
+	return s
+}
+
+// Konst emits a constant.
+func (d *Design) Konst(name string, width int, v uint64) SignalID {
+	s := d.newSignal(name, width)
+	return d.emit(Cell{Kind: CellConst, Out: s, Const: v & WidthMask(width)})
+}
+
+func (d *Design) binary(kind CellKind, name string, a, b SignalID, width int) SignalID {
+	out := d.newSignal(name, width)
+	return d.emit(Cell{Kind: kind, Out: out, In: []SignalID{a, b}})
+}
+
+// Not, And, Or, Xor, Add, Sub build the corresponding word cells.
+func (d *Design) Not(name string, a SignalID) SignalID {
+	out := d.newSignal(name, d.Width(a))
+	return d.emit(Cell{Kind: CellNot, Out: out, In: []SignalID{a}})
+}
+
+func (d *Design) And(name string, a, b SignalID) SignalID {
+	return d.binary(CellAnd, name, a, b, d.Width(a))
+}
+
+func (d *Design) Or(name string, a, b SignalID) SignalID {
+	return d.binary(CellOr, name, a, b, d.Width(a))
+}
+
+func (d *Design) Xor(name string, a, b SignalID) SignalID {
+	return d.binary(CellXor, name, a, b, d.Width(a))
+}
+
+func (d *Design) Add(name string, a, b SignalID) SignalID {
+	return d.binary(CellAdd, name, a, b, d.Width(a))
+}
+
+func (d *Design) Sub(name string, a, b SignalID) SignalID {
+	return d.binary(CellSub, name, a, b, d.Width(a))
+}
+
+// Eq, Ne, Lt build 1-bit comparison cells.
+func (d *Design) Eq(name string, a, b SignalID) SignalID {
+	return d.binary(CellEq, name, a, b, 1)
+}
+
+func (d *Design) Ne(name string, a, b SignalID) SignalID {
+	return d.binary(CellNe, name, a, b, 1)
+}
+
+func (d *Design) Lt(name string, a, b SignalID) SignalID {
+	return d.binary(CellLt, name, a, b, 1)
+}
+
+// Shl and Shr shift a by amount b.
+func (d *Design) Shl(name string, a, b SignalID) SignalID {
+	return d.binary(CellShl, name, a, b, d.Width(a))
+}
+
+func (d *Design) Shr(name string, a, b SignalID) SignalID {
+	return d.binary(CellShr, name, a, b, d.Width(a))
+}
+
+// Mux selects a when sel=0, b when sel=1.
+func (d *Design) Mux(name string, sel, a, b SignalID) SignalID {
+	out := d.newSignal(name, d.Width(a))
+	return d.emit(Cell{Kind: CellMux, Out: out, In: []SignalID{sel, a, b}})
+}
+
+// Concat produces {hi, lo}.
+func (d *Design) Concat(name string, hi, lo SignalID) SignalID {
+	w := d.Width(hi) + d.Width(lo)
+	out := d.newSignal(name, w)
+	return d.emit(Cell{Kind: CellConcat, Out: out, In: []SignalID{hi, lo}})
+}
+
+// Slice extracts width bits starting at lo.
+func (d *Design) Slice(name string, a SignalID, lo, width int) SignalID {
+	out := d.newSignal(name, width)
+	return d.emit(Cell{Kind: CellSlice, Out: out, In: []SignalID{a}, Lo: lo})
+}
+
+// RedOr reduces a to a single bit (non-zero test).
+func (d *Design) RedOr(name string, a SignalID) SignalID {
+	out := d.newSignal(name, 1)
+	return d.emit(Cell{Kind: CellRedOr, Out: out, In: []SignalID{a}})
+}
+
+// AddReg creates a register. Connect its next-value with ConnectReg.
+func (d *Design) AddReg(name string, width int, init uint64) *Reg {
+	q := d.newSignal(name, width)
+	d.defined[q] = true // register outputs are state, available at cycle start
+	r := &Reg{
+		Name: name, Module: d.module, Width: width, Q: q,
+		D: Invalid, En: Invalid, Init: init & WidthMask(width),
+		Attrs: map[string]string{},
+	}
+	d.Regs = append(d.Regs, r)
+	return r
+}
+
+// ConnectReg wires the next-value (and optional enable) of a register.
+func (d *Design) ConnectReg(r *Reg, next SignalID, en SignalID) {
+	d.use(next)
+	if en != Invalid {
+		d.use(en)
+	}
+	r.D = next
+	r.En = en
+}
+
+// AddMem creates a memory.
+func (d *Design) AddMem(name string, width, depth int) *Mem {
+	m := &Mem{
+		Name: name, Module: d.module, Width: width, Depth: depth,
+		Init:  make([]uint64, depth),
+		Attrs: map[string]string{},
+	}
+	d.Mems = append(d.Mems, m)
+	return m
+}
+
+// MemRead attaches a combinational read port returning the word at addr.
+func (d *Design) MemRead(name string, m *Mem, addr SignalID) SignalID {
+	idx := -1
+	for i, mm := range d.Mems {
+		if mm == m {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		panic("rtl: memory not in design")
+	}
+	d.use(addr)
+	out := d.newSignal(name, m.Width)
+	return d.emit(Cell{Kind: CellMemRd, Out: out, In: []SignalID{addr}, Mem: idx})
+}
+
+// MemWrite attaches a clocked write port.
+func (d *Design) MemWrite(m *Mem, addr, data, en SignalID) {
+	d.use(addr, data, en)
+	m.Writes = append(m.Writes, WritePort{Addr: addr, Data: data, En: en})
+}
+
+// Stats summarises design size; the experiments harness reports these as the
+// Table 2 analogue.
+type Stats struct {
+	Signals  int
+	Cells    int
+	Regs     int
+	Mems     int
+	StateBit int // total state bits (regs + mems)
+}
+
+// Stats computes design statistics.
+func (d *Design) Stats() Stats {
+	s := Stats{Signals: len(d.Signals), Cells: len(d.Cells), Regs: len(d.Regs), Mems: len(d.Mems)}
+	for _, r := range d.Regs {
+		s.StateBit += r.Width
+	}
+	for _, m := range d.Mems {
+		s.StateBit += m.Width * m.Depth
+	}
+	return s
+}

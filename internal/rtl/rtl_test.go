@@ -1,0 +1,219 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombinationalCells(t *testing.T) {
+	d := NewDesign("comb")
+	a := d.Input("a", 8)
+	b := d.Input("b", 8)
+	and := d.And("and", a, b)
+	or := d.Or("or", a, b)
+	xor := d.Xor("xor", a, b)
+	not := d.Not("not", a)
+	add := d.Add("add", a, b)
+	sub := d.Sub("sub", a, b)
+	eq := d.Eq("eq", a, b)
+	lt := d.Lt("lt", a, b)
+	shl := d.Shl("shl", a, b)
+	cat := d.Concat("cat", a, b)
+	sl := d.Slice("sl", cat, 4, 8)
+	ro := d.RedOr("ro", a)
+
+	s := NewSim(d)
+	check := func(av, bv uint64) {
+		s.Poke(a, av)
+		s.Poke(b, bv)
+		s.Eval()
+		av &= 0xff
+		bv &= 0xff
+		exp := map[SignalID]uint64{
+			and: av & bv, or: av | bv, xor: av ^ bv, not: ^av & 0xff,
+			add: (av + bv) & 0xff, sub: (av - bv) & 0xff,
+			shl: av << (bv & 63) & 0xff,
+			cat: (av<<8 | bv) & 0xffff, sl: (av<<8 | bv) >> 4 & 0xff,
+		}
+		for sig, want := range exp {
+			if got := s.Peek(sig); got != want {
+				t.Fatalf("a=%#x b=%#x: %s = %#x, want %#x", av, bv, d.Signals[sig].Name, got, want)
+			}
+		}
+		if got := s.Peek(eq); (got == 1) != (av == bv) {
+			t.Fatalf("eq wrong for %#x %#x", av, bv)
+		}
+		if got := s.Peek(lt); (got == 1) != (av < bv) {
+			t.Fatalf("lt wrong for %#x %#x", av, bv)
+		}
+		if got := s.Peek(ro); (got == 1) != (av != 0) {
+			t.Fatalf("redor wrong for %#x", av)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		check(rng.Uint64(), rng.Uint64())
+	}
+	check(0, 0)
+	check(0xff, 0xff)
+}
+
+func TestRegisterWithEnable(t *testing.T) {
+	d := NewDesign("reg")
+	en := d.Input("en", 1)
+	din := d.Input("din", 16)
+	r := d.AddReg("r", 16, 7)
+	d.ConnectReg(r, din, en)
+
+	s := NewSim(d)
+	s.Eval()
+	if s.PeekReg(r) != 7 {
+		t.Fatal("init value wrong")
+	}
+	s.Poke(din, 100)
+	s.Poke(en, 0)
+	s.Step()
+	if s.PeekReg(r) != 7 {
+		t.Fatal("disabled register updated")
+	}
+	s.Poke(en, 1)
+	s.Step()
+	if s.PeekReg(r) != 100 {
+		t.Fatal("enabled register did not update")
+	}
+}
+
+func TestMemoryPorts(t *testing.T) {
+	d := NewDesign("mem")
+	raddr := d.Input("raddr", 4)
+	waddr := d.Input("waddr", 4)
+	wdata := d.Input("wdata", 32)
+	wen := d.Input("wen", 1)
+	m := d.AddMem("m", 32, 16)
+	rd := d.MemRead("rd", m, raddr)
+	d.MemWrite(m, waddr, wdata, wen)
+
+	s := NewSim(d)
+	s.Poke(waddr, 5)
+	s.Poke(wdata, 0xabcd)
+	s.Poke(wen, 1)
+	s.Step()
+	s.Poke(wen, 0)
+	s.Poke(raddr, 5)
+	s.Eval()
+	if got := s.Peek(rd); got != 0xabcd {
+		t.Fatalf("mem[5] = %#x", got)
+	}
+	s.Poke(raddr, 6)
+	s.Eval()
+	if got := s.Peek(rd); got != 0 {
+		t.Fatalf("mem[6] = %#x, want 0", got)
+	}
+}
+
+func TestUseBeforeDefinitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on use-before-definition")
+		}
+	}()
+	d := NewDesign("bad")
+	a := d.newSignal("floating", 8)
+	b := d.Input("b", 8)
+	d.And("x", a, b)
+}
+
+// buildCounter returns a design with a counter, a mux-updated register and a
+// memory, used to cross-check flattening.
+func buildCounter() (*Design, SignalID, *Reg) {
+	d := NewDesign("counter")
+	en := d.Input("en", 1)
+	one := d.Konst("one", 8, 1)
+	cnt := d.AddReg("cnt", 8, 0)
+	next := d.Add("next", cnt.Q, one)
+	d.ConnectReg(cnt, next, en)
+
+	m := d.AddMem("hist", 8, 8)
+	idx := d.Slice("idx", cnt.Q, 0, 3)
+	d.MemWrite(m, idx, cnt.Q, en)
+	rd := d.MemRead("rd", m, idx)
+	out := d.Mux("out", en, rd, next)
+	return d, out, cnt
+}
+
+// Property: FlattenMemories preserves cycle-by-cycle behaviour.
+func TestFlattenEquivalence(t *testing.T) {
+	d, out, _ := buildCounter()
+	fd := FlattenMemories(d)
+
+	var fout SignalID = Invalid
+	for i, sg := range fd.Signals {
+		if sg.Name == "out" {
+			fout = SignalID(i)
+		}
+	}
+	if fout == Invalid {
+		t.Fatal("flattened design lost the out signal")
+	}
+
+	s1 := NewSim(d)
+	s2 := NewSim(fd)
+	rng := rand.New(rand.NewSource(11))
+	for cyc := 0; cyc < 200; cyc++ {
+		en := rng.Uint64() & 1
+		s1.Poke(d.Inputs[0], en)
+		s2.Poke(fd.Inputs[0], en)
+		s1.Eval()
+		s2.Eval()
+		if s1.Peek(out) != s2.Peek(fout) {
+			t.Fatalf("cycle %d: out %#x vs flattened %#x", cyc, s1.Peek(out), s2.Peek(fout))
+		}
+		s1.Clock()
+		s2.Clock()
+	}
+}
+
+func TestFlattenStats(t *testing.T) {
+	d, _, _ := buildCounter()
+	fd := FlattenMemories(d)
+	if len(fd.Mems) != 0 {
+		t.Fatal("flattened design still has memories")
+	}
+	if fd.Stats().Regs <= d.Stats().Regs {
+		t.Fatal("flattening did not expand registers")
+	}
+	if fd.Stats().Cells <= d.Stats().Cells {
+		t.Fatal("flattening did not expand cells")
+	}
+	// State bit count is preserved.
+	if fd.Stats().StateBit != d.Stats().StateBit {
+		t.Fatalf("state bits %d != %d", fd.Stats().StateBit, d.Stats().StateBit)
+	}
+}
+
+// Property: WidthMask yields exactly w low bits.
+func TestWidthMaskProperty(t *testing.T) {
+	f := func(w uint8) bool {
+		width := int(w%64) + 1
+		m := WidthMask(width)
+		if width == 64 {
+			return m == ^uint64(0)
+		}
+		return m == (uint64(1)<<width)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _, _ := buildCounter()
+	st := d.Stats()
+	if st.Regs != 1 || st.Mems != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.StateBit != 8+8*8 {
+		t.Fatalf("state bits %d", st.StateBit)
+	}
+}

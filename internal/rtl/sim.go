@@ -1,0 +1,151 @@
+package rtl
+
+import "fmt"
+
+// Sim is a two-phase cycle simulator for a Design: combinational evaluation
+// in cell order, then a clock edge that commits register and memory writes.
+type Sim struct {
+	D     *Design
+	Vals  []uint64   // signal values
+	RegV  []uint64   // register state
+	MemV  [][]uint64 // memory state
+	Cycle int
+}
+
+// NewSim constructs a simulator with reset state.
+func NewSim(d *Design) *Sim {
+	s := &Sim{D: d, Vals: make([]uint64, len(d.Signals))}
+	s.RegV = make([]uint64, len(d.Regs))
+	for i, r := range d.Regs {
+		s.RegV[i] = r.Init
+	}
+	s.MemV = make([][]uint64, len(d.Mems))
+	for i, m := range d.Mems {
+		s.MemV[i] = make([]uint64, m.Depth)
+		copy(s.MemV[i], m.Init)
+	}
+	return s
+}
+
+// Poke drives an input signal. The value persists across cycles until
+// re-poked.
+func (s *Sim) Poke(sig SignalID, v uint64) {
+	s.Vals[sig] = v & s.D.Mask(sig)
+}
+
+// Peek reads a signal value as of the last Eval.
+func (s *Sim) Peek(sig SignalID) uint64 { return s.Vals[sig] }
+
+// PeekReg reads register state directly.
+func (s *Sim) PeekReg(r *Reg) uint64 {
+	for i, rr := range s.D.Regs {
+		if rr == r {
+			return s.RegV[i]
+		}
+	}
+	panic(fmt.Sprintf("rtl: register %q not in design", r.Name))
+}
+
+// Eval runs the combinational phase: register outputs are presented, then
+// cells evaluate in order.
+func (s *Sim) Eval() {
+	for i, r := range s.D.Regs {
+		s.Vals[r.Q] = s.RegV[i]
+	}
+	for ci := range s.D.Cells {
+		c := &s.D.Cells[ci]
+		s.evalCell(c)
+	}
+}
+
+func (s *Sim) evalCell(c *Cell) {
+	mask := s.D.Mask(c.Out)
+	v := s.Vals
+	switch c.Kind {
+	case CellBufIn:
+		// value already poked
+	case CellConst:
+		v[c.Out] = c.Const & mask
+	case CellNot:
+		v[c.Out] = ^v[c.In[0]] & mask
+	case CellAnd:
+		v[c.Out] = v[c.In[0]] & v[c.In[1]] & mask
+	case CellOr:
+		v[c.Out] = (v[c.In[0]] | v[c.In[1]]) & mask
+	case CellXor:
+		v[c.Out] = (v[c.In[0]] ^ v[c.In[1]]) & mask
+	case CellAdd:
+		v[c.Out] = (v[c.In[0]] + v[c.In[1]]) & mask
+	case CellSub:
+		v[c.Out] = (v[c.In[0]] - v[c.In[1]]) & mask
+	case CellEq:
+		v[c.Out] = b2u(v[c.In[0]] == v[c.In[1]])
+	case CellNe:
+		v[c.Out] = b2u(v[c.In[0]] != v[c.In[1]])
+	case CellLt:
+		v[c.Out] = b2u(v[c.In[0]] < v[c.In[1]])
+	case CellShl:
+		v[c.Out] = v[c.In[0]] << (v[c.In[1]] & 63) & mask
+	case CellShr:
+		v[c.Out] = v[c.In[0]] >> (v[c.In[1]] & 63) & mask
+	case CellMux:
+		if v[c.In[0]]&1 != 0 {
+			v[c.Out] = v[c.In[2]] & mask
+		} else {
+			v[c.Out] = v[c.In[1]] & mask
+		}
+	case CellConcat:
+		lo := c.In[1]
+		v[c.Out] = (v[c.In[0]]<<uint(s.D.Width(lo)) | v[lo]) & mask
+	case CellSlice:
+		v[c.Out] = v[c.In[0]] >> uint(c.Lo) & mask
+	case CellRedOr:
+		v[c.Out] = b2u(v[c.In[0]] != 0)
+	case CellMemRd:
+		m := s.MemV[c.Mem]
+		addr := v[c.In[0]] % uint64(len(m))
+		v[c.Out] = m[addr] & mask
+	default:
+		panic(fmt.Sprintf("rtl: unknown cell kind %v", c.Kind))
+	}
+}
+
+// Clock commits register next-values and memory write ports.
+func (s *Sim) Clock() {
+	next := make([]uint64, len(s.RegV))
+	for i, r := range s.D.Regs {
+		cur := s.RegV[i]
+		if r.D == Invalid {
+			next[i] = cur
+			continue
+		}
+		if r.En != Invalid && s.Vals[r.En]&1 == 0 {
+			next[i] = cur
+			continue
+		}
+		next[i] = s.Vals[r.D] & WidthMask(r.Width)
+	}
+	copy(s.RegV, next)
+	for mi, m := range s.D.Mems {
+		for _, w := range m.Writes {
+			if s.Vals[w.En]&1 != 0 {
+				addr := s.Vals[w.Addr] % uint64(m.Depth)
+				s.MemV[mi][addr] = s.Vals[w.Data] & WidthMask(m.Width)
+			}
+		}
+	}
+	s.Cycle++
+}
+
+// Step runs one full cycle (Eval then Clock).
+func (s *Sim) Step() {
+	s.Eval()
+	s.Clock()
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

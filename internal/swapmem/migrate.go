@@ -1,0 +1,42 @@
+package swapmem
+
+import (
+	"fmt"
+	"strings"
+
+	"dejavuzz/internal/isa"
+)
+
+// MigrationReport renders a swap schedule as a human-readable stitching
+// guide: the paper's §7 notes that swapMem stimuli only run on swapMem, and
+// migrating them to a standard memory model requires careful manual
+// stitching. This report gives a developer everything needed to do that —
+// the packet order, permission updates, entry points and full disassembly of
+// every packet at its runtime addresses.
+func MigrationReport(s *Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "swapMem stimulus migration report (%d packets)\n", len(s.Steps))
+	fmt.Fprintf(&b, "shared region %#x..%#x  dedicated %#x..%#x  swappable %#x..%#x\n\n",
+		SharedBase, SharedBase+SharedSize, DedicatedBase, DedicatedBase+DedicatedSize,
+		SwapBase, SwapBase+SwapSize)
+	for i, st := range s.Steps {
+		p := st.Packet
+		fmt.Fprintf(&b, "[%d] %s (%s), entry %#x, %d instructions\n",
+			i, p.Name, p.Kind, p.Entry, p.InstCount())
+		for _, pu := range st.PrePerm {
+			fmt.Fprintf(&b, "    pre: set region %q permissions to %#x\n", pu.Region, pu.Perm)
+		}
+		fmt.Fprintf(&b, "    swap: flush icache, load image at %#x, jump to entry\n", p.Image.Base)
+		for wi, w := range p.Image.Words {
+			addr := p.Image.Base + uint64(4*wi)
+			fmt.Fprintf(&b, "    %#08x: %08x  %s\n", addr, w, isa.Decode(w))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("stitching notes:\n")
+	b.WriteString("  - packets time-share the swappable region; to linearise, relocate each\n")
+	b.WriteString("    packet to a distinct address range and rewrite absolute `li` targets\n")
+	b.WriteString("  - replace each terminating ecall with a jump to the next packet's entry\n")
+	b.WriteString("  - apply the permission updates via your platform's PMP/page tables\n")
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package swapmem
+
+import (
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/isa"
+)
+
+func TestMigrationReport(t *testing.T) {
+	p1 := &Packet{Name: "train", Kind: PacketTriggerTrain,
+		Image: isa.MustAsm(SwapBase, "li t0, 5\necall"), Entry: SwapBase}
+	p2 := &Packet{Name: "transient", Kind: PacketTransient,
+		Image: isa.MustAsm(SwapBase, "nop\necall"), Entry: SwapBase}
+	s := &Schedule{}
+	s.Append(p1)
+	s.AppendWithPerm(p2, PermUpdate{Region: "dedicated", Perm: 0})
+
+	rep := MigrationReport(s)
+	for _, want := range []string{
+		"2 packets",
+		"train (trigger-train)",
+		"transient (transient)",
+		`set region "dedicated"`,
+		"flush icache",
+		"ecall",
+		"stitching notes",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Addresses rendered at runtime locations.
+	if !strings.Contains(rep, "0x00004000") {
+		t.Error("report missing swappable-region addresses")
+	}
+}

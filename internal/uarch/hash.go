@@ -1,0 +1,71 @@
+package uarch
+
+import "hash/fnv"
+
+// TimingHash digests the final state of the timing components (caches,
+// TLBs, predictors) — the differential oracle SpecDoctor compares between
+// secret variants. includeData additionally hashes cache data arrays, which
+// is what makes resident (but unencoded) secrets flip the hash and produce
+// SpecDoctor's false positives.
+func (c *Core) TimingHash(includeData bool) uint64 {
+	h := fnv.New64a()
+	w := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	hashCache := func(ca *Cache) {
+		for s := range ca.tags {
+			for way := range ca.tags[s] {
+				if ca.valid[s][way] {
+					w(1 + ca.tags[s][way])
+				} else {
+					w(0)
+				}
+				if includeData {
+					for _, d := range ca.data[s][way] {
+						w(d)
+					}
+				}
+			}
+		}
+		if includeData {
+			for i := range ca.lfb {
+				for _, d := range ca.lfb[i].data {
+					w(d)
+				}
+			}
+		}
+	}
+	hashCache(c.DCache)
+	hashCache(c.ICache)
+	for _, t := range []*TLB{c.ITLB, c.DTLB, c.L2TLB} {
+		for i := range t.entries {
+			if t.entries[i].valid {
+				w(1 + t.entries[i].vpn)
+			} else {
+				w(0)
+			}
+		}
+	}
+	for _, cnt := range c.bht.counters {
+		w(uint64(cnt))
+	}
+	for _, b := range []*BTB{c.btb, c.faubtb, c.ind} {
+		for i := range b.entries {
+			w(b.entries[i].tag<<1 | boolToU64(b.entries[i].valid))
+			w(b.entries[i].target)
+		}
+	}
+	for i := range c.ras.stack {
+		w(c.ras.stack[i])
+	}
+	w(uint64(c.ras.tos))
+	for i := range c.loop.entries {
+		w(c.loop.entries[i].tag)
+		w(uint64(c.loop.entries[i].streak))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,195 @@
+package uarch
+
+import (
+	"fmt"
+
+	"dejavuzz/internal/isa"
+	"dejavuzz/internal/isasim"
+)
+
+// InstRecord is one dynamic instruction's RoB IO trace: when it entered the
+// reorder buffer and whether it committed or was squashed. The fuzzer's
+// transient-window detection ("enqueued exceeds committed") reads this log.
+type InstRecord struct {
+	Seq         uint64
+	PC          uint64
+	Inst        isa.Inst
+	EnqCycle    int
+	CommitCycle int // -1 if never committed
+	SquashCycle int // -1 if never squashed
+	Exception   isasim.Cause
+}
+
+// Transient reports whether the instruction executed transiently (entered
+// the RoB but was squashed instead of committing).
+func (r *InstRecord) Transient() bool {
+	return r.CommitCycle < 0 && r.SquashCycle >= 0
+}
+
+// SquashReason classifies why a squash happened.
+type SquashReason int
+
+const (
+	SquashNone SquashReason = iota
+	SquashBranchMispredict
+	SquashJumpMispredict
+	SquashReturnMispredict
+	SquashMemOrdering
+	SquashException
+)
+
+func (r SquashReason) String() string {
+	switch r {
+	case SquashBranchMispredict:
+		return "branch-mispredict"
+	case SquashJumpMispredict:
+		return "jump-mispredict"
+	case SquashReturnMispredict:
+		return "return-mispredict"
+	case SquashMemOrdering:
+		return "memory-ordering"
+	case SquashException:
+		return "exception"
+	}
+	return "none"
+}
+
+// SquashEvent records one pipeline flush.
+type SquashEvent struct {
+	Cycle    int
+	Reason   SquashReason
+	FromSeq  uint64 // oldest squashed sequence number
+	AtPC     uint64 // pc of the instruction causing the squash
+	Redirect uint64
+	// PredTaken marks misprediction squashes whose wrong path came from an
+	// actual predictor redirect (trained state), as opposed to default
+	// fall-through execution that needs no training.
+	PredTaken bool
+}
+
+// TaintSample is one cycle's per-module taint census entry.
+type TaintSample struct {
+	Cycle   int
+	Module  string
+	Tainted int // state elements with any tainted bit
+	Bits    int // total tainted bits
+}
+
+// Trace accumulates the RoB IO event log and (optionally) the taint log.
+type Trace struct {
+	Insts    []InstRecord
+	Squashes []SquashEvent
+	// TaintLog holds per-cycle module censuses when taint tracing is on.
+	TaintLog []TaintSample
+	// TaintSumByCycle is the Figure 6 series: total tainted state bits.
+	TaintSumByCycle []int
+
+	bySeq map[uint64]int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{bySeq: make(map[uint64]int)}
+}
+
+func (t *Trace) enqueue(seq, pc uint64, in isa.Inst, cycle int) {
+	t.bySeq[seq] = len(t.Insts)
+	t.Insts = append(t.Insts, InstRecord{
+		Seq: seq, PC: pc, Inst: in, EnqCycle: cycle, CommitCycle: -1, SquashCycle: -1,
+	})
+}
+
+func (t *Trace) commit(seq uint64, cycle int, exc isasim.Cause) {
+	if i, ok := t.bySeq[seq]; ok {
+		t.Insts[i].CommitCycle = cycle
+		t.Insts[i].Exception = exc
+	}
+}
+
+func (t *Trace) squash(seq uint64, cycle int) {
+	if i, ok := t.bySeq[seq]; ok && t.Insts[i].CommitCycle < 0 {
+		t.Insts[i].SquashCycle = cycle
+	}
+}
+
+// Record looks up a sequence number's record.
+func (t *Trace) Record(seq uint64) *InstRecord {
+	if i, ok := t.bySeq[seq]; ok {
+		return &t.Insts[i]
+	}
+	return nil
+}
+
+// WindowStats summarises transient execution within a PC range.
+type WindowStats struct {
+	Enqueued   int
+	Committed  int
+	Squashed   int
+	FirstCycle int // first enqueue cycle of a window instruction, -1 if none
+	LastCycle  int // last squash/commit cycle of a window instruction
+}
+
+// Triggered reports the paper's transient-window criterion: more window
+// instructions entered the RoB than committed.
+func (w WindowStats) Triggered() bool { return w.Enqueued > w.Committed && w.Squashed > 0 }
+
+// Window analyses the trace for instructions whose PC lies in [lo, hi).
+func (t *Trace) Window(lo, hi uint64) WindowStats { return t.WindowSince(lo, hi, 0) }
+
+// WindowSince restricts the analysis to instructions enqueued at or after
+// the given cycle (the transient packet's load time, so that training-packet
+// activity at the same addresses is excluded).
+func (t *Trace) WindowSince(lo, hi uint64, since int) WindowStats {
+	w := WindowStats{FirstCycle: -1, LastCycle: -1}
+	for i := range t.Insts {
+		r := &t.Insts[i]
+		if r.PC < lo || r.PC >= hi || r.EnqCycle < since {
+			continue
+		}
+		w.Enqueued++
+		if w.FirstCycle < 0 || r.EnqCycle < w.FirstCycle {
+			w.FirstCycle = r.EnqCycle
+		}
+		end := r.CommitCycle
+		if r.CommitCycle >= 0 {
+			w.Committed++
+		}
+		if r.SquashCycle >= 0 {
+			w.Squashed++
+			end = r.SquashCycle
+		}
+		if end > w.LastCycle {
+			w.LastCycle = end
+		}
+	}
+	return w
+}
+
+// TransientPCs returns the distinct PCs that executed transiently.
+func (t *Trace) TransientPCs() []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for i := range t.Insts {
+		r := &t.Insts[i]
+		if r.Transient() && !seen[r.PC] {
+			seen[r.PC] = true
+			out = append(out, r.PC)
+		}
+	}
+	return out
+}
+
+// String renders a compact trace summary.
+func (t *Trace) String() string {
+	committed, squashed := 0, 0
+	for i := range t.Insts {
+		if t.Insts[i].CommitCycle >= 0 {
+			committed++
+		}
+		if t.Insts[i].SquashCycle >= 0 {
+			squashed++
+		}
+	}
+	return fmt.Sprintf("trace{insts=%d committed=%d squashed=%d flushes=%d}",
+		len(t.Insts), committed, squashed, len(t.Squashes))
+}

@@ -1,0 +1,265 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dejavuzz/internal/mem"
+)
+
+func newTestCache(t *testing.T) (*Cache, *mem.Space) {
+	t.Helper()
+	sp := mem.NewSpace()
+	sp.MustAddRegion(mem.Region{Name: "ram", Base: 0x0, Size: 0x10000,
+		Perm: mem.PermRead | mem.PermWrite | mem.PermExec})
+	cfg := CacheConfig{Sets: 4, Ways: 2, LineBytes: 32, HitLat: 2, MissLat: 10, MSHRs: 2}
+	return NewCache("d", cfg, sp), sp
+}
+
+func TestCacheHitMissLatency(t *testing.T) {
+	c, _ := newTestCache(t)
+	r1 := c.Access(0x100, 0)
+	if r1.Hit || r1.Latency != 10 {
+		t.Fatalf("first access: %+v", r1)
+	}
+	r2 := c.Access(0x108, 20)
+	if !r2.Hit || r2.Latency != 2 {
+		t.Fatalf("same line: %+v", r2)
+	}
+	if c.Misses != 1 || c.Accesses != 2 {
+		t.Fatalf("counters: %d/%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c, _ := newTestCache(t)
+	// Three lines mapping to the same set (sets=4, line=32: stride 128).
+	c.Access(0x000, 0)
+	c.Access(0x080, 0)
+	c.Access(0x100, 0)
+	if c.Probe(0x000) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Probe(0x080) || !c.Probe(0x100) {
+		t.Fatal("wrong victim")
+	}
+}
+
+func TestCacheDataAndTaint(t *testing.T) {
+	c, sp := newTestCache(t)
+	sp.Write64(0x200, 0xdead, ^uint64(0))
+	c.Access(0x200, 0)
+	v, tt := c.Read64(0x200)
+	if v != 0xdead || tt != ^uint64(0) {
+		t.Fatalf("fill lost data/taint: %#x/%#x", v, tt)
+	}
+	c.Write64(0x200, 0xbeef, 0)
+	v, tt = c.Read64(0x200)
+	if v != 0xbeef || tt != 0 {
+		t.Fatalf("write-through wrong: %#x/%#x", v, tt)
+	}
+	// Write-through reaches memory.
+	if mv, _ := sp.Read64(0x200); mv != 0xbeef {
+		t.Fatal("write did not reach memory")
+	}
+}
+
+func TestCacheMSHRMergeAndLFBLiveness(t *testing.T) {
+	c, sp := newTestCache(t)
+	sp.Write64(0x300, 1, ^uint64(0))
+	r1 := c.Access(0x300, 0) // miss: readyAt = 10
+	if r1.Hit {
+		t.Fatal("unexpected hit")
+	}
+	tainted, live := c.LFBCensus(5)
+	if tainted != 1 || live != 1 {
+		t.Fatalf("LFB during refill: tainted=%d live=%d", tainted, live)
+	}
+	// After the refill completes, the MSHR dies but the LFB keeps stale data:
+	// exactly the paper's unexploitable-taint example.
+	tainted, live = c.LFBCensus(50)
+	if tainted != 1 || live != 0 {
+		t.Fatalf("LFB after refill: tainted=%d live=%d", tainted, live)
+	}
+}
+
+func TestCacheFlushClearsTaint(t *testing.T) {
+	c, sp := newTestCache(t)
+	sp.Write64(0x400, 7, ^uint64(0))
+	res := c.Access(0x400, 0)
+	c.TaintTag(res.Set, res.Way)
+	if n, _ := c.Census(); n == 0 {
+		t.Fatal("census missed tainted line")
+	}
+	c.FlushAll()
+	if n, _ := c.Census(); n != 0 {
+		t.Fatal("flush left taint behind")
+	}
+	if c.Probe(0x400) {
+		t.Fatal("flush left valid lines")
+	}
+}
+
+func TestTLBFillAndCensus(t *testing.T) {
+	l2 := NewTLB("l2", TLBConfig{Entries: 4, HitLat: 1, MissLat: 10, PageBits: 12}, nil)
+	l1 := NewTLB("l1", TLBConfig{Entries: 2, HitLat: 0, MissLat: 2, PageBits: 12}, l2)
+	lat1 := l1.Lookup(0x1000)
+	if lat1 == 0 {
+		t.Fatal("first lookup should miss")
+	}
+	if lat2 := l1.Lookup(0x1fff); lat2 != 0 {
+		t.Fatalf("same page lookup latency %d", lat2)
+	}
+	l1.TaintPage(0x1000)
+	if n, _ := l1.Census(); n != 1 {
+		t.Fatal("L1 entry not tainted")
+	}
+	if n, _ := l2.Census(); n != 1 {
+		t.Fatal("L2 entry not tainted")
+	}
+	l1.FlushAll()
+	if n, _ := l1.Census(); n != 0 {
+		t.Fatal("flush left taint")
+	}
+}
+
+func TestBHTTwoTrainingThreshold(t *testing.T) {
+	b := NewBHT(16)
+	pc := uint64(0x40)
+	if b.Predict(pc) {
+		t.Fatal("default prediction should be not-taken")
+	}
+	b.Update(pc, true, 0)
+	if b.Predict(pc) {
+		t.Fatal("one training should not flip the counter")
+	}
+	b.Update(pc, true, 0)
+	if !b.Predict(pc) {
+		t.Fatal("two trainings should predict taken")
+	}
+	b.Update(pc, false, 0)
+	b.Update(pc, false, 0)
+	if b.Predict(pc) {
+		t.Fatal("counter did not come back down")
+	}
+}
+
+func TestBTBConfidence(t *testing.T) {
+	b := NewBTBConf("ind", 8, 2)
+	pc, tgt := uint64(0x80), uint64(0x1000)
+	b.Update(pc, tgt, 0)
+	if _, hit := b.Predict(pc); hit {
+		t.Fatal("single training reached confidence 2")
+	}
+	b.Update(pc, tgt, 0)
+	if got, hit := b.Predict(pc); !hit || got != tgt {
+		t.Fatal("two consistent trainings should predict")
+	}
+	// A different target resets confidence.
+	b.Update(pc, 0x2000, 0)
+	if _, hit := b.Predict(pc); hit {
+		t.Fatal("target change kept confidence")
+	}
+}
+
+func TestRASRestoreSemantics(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x100, 0)
+	r.Push(0x200, 0)
+	snap := r.Snapshot()
+
+	// Transient calls corrupt the stack.
+	r.Pop()
+	r.Pop()
+	r.Push(0x666, 0)
+	r.Push(0x777, 0)
+	r.Push(0x888, 0)
+
+	// Full restore (XiangShan): everything recovers.
+	full := NewRAS(4)
+	*full = *r
+	full.stack = append([]uint64{}, r.stack...)
+	full.taint = append([]uint64{}, r.taint...)
+	full.Restore(snap, false)
+	if a, _ := full.Pop(); a != 0x200 {
+		t.Fatalf("full restore top = %#x", a)
+	}
+	if a, _ := full.Pop(); a != 0x100 {
+		t.Fatalf("full restore below-top = %#x", a)
+	}
+
+	// Buggy restore (BOOM, Phantom-RSB): TOS and top entry recover, the
+	// entry below keeps the transient corruption.
+	r.Restore(snap, true)
+	if a, _ := r.Pop(); a != 0x200 {
+		t.Fatalf("buggy restore top = %#x", a)
+	}
+	if a, _ := r.Pop(); a == 0x100 {
+		t.Fatal("buggy restore repaired the below-TOS entry; B2 requires it to stay corrupted")
+	}
+}
+
+func TestLoopPredictorTrip(t *testing.T) {
+	l := NewLoopPredictor(8, 3)
+	pc := uint64(0xc0)
+	// A loop of trip 5 trains the predictor.
+	for iter := 0; iter < 3; iter++ {
+		for i := 0; i < 5; i++ {
+			l.Update(pc, true, 0)
+		}
+		l.Update(pc, false, 0)
+	}
+	if ov, _ := l.Predict(pc); !ov {
+		t.Fatal("loop predictor never trained")
+	}
+}
+
+// Property: RAS push/pop is LIFO for sequences within capacity.
+func TestRASLIFOProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 8 {
+			vals = vals[:8]
+		}
+		r := NewRAS(8)
+		for _, v := range vals {
+			r.Push(v, 0)
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			if got, _ := r.Pop(); got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingHashSensitivity(t *testing.T) {
+	sp := mem.NewSpace()
+	sp.MustAddRegion(mem.Region{Name: "ram", Base: 0, Size: 0x10000,
+		Perm: mem.PermRead | mem.PermWrite | mem.PermExec})
+	c := NewCore(BOOMConfig(), sp, IFTOff)
+	h0 := c.TimingHash(true)
+	c.DCache.Access(0x40, 0)
+	h1 := c.TimingHash(true)
+	if h0 == h1 {
+		t.Fatal("hash insensitive to cache fill")
+	}
+	// Data-array sensitivity: same line, different content.
+	sp.Write64(0x40, 123, 0)
+	c.DCache.Write64(0x40, 123, 0)
+	h2 := c.TimingHash(true)
+	if h1 == h2 {
+		t.Fatal("hash insensitive to data content")
+	}
+	// Tag-only hash ignores data changes.
+	ht1 := c.TimingHash(false)
+	c.DCache.Write64(0x40, 456, 0)
+	if c.TimingHash(false) != ht1 {
+		t.Log("tag-only hash stable under data change (expected)")
+	} else if c.TimingHash(false) != ht1 {
+		t.Fatal("unreachable")
+	}
+}

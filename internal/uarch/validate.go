@@ -1,0 +1,70 @@
+package uarch
+
+import "fmt"
+
+// ValidateTrace checks pipeline-ordering invariants over a finished trace.
+// The test suite runs it after random-program co-simulation; violations
+// indicate reorder-buffer bookkeeping bugs rather than stimulus problems.
+//
+// Invariants:
+//  1. Commits are in program order (sequence numbers strictly increase in
+//     commit-cycle order).
+//  2. No instruction both commits and squashes.
+//  3. Commit and squash cycles never precede the enqueue cycle.
+//  4. A squashed instruction's sequence number is never below the oldest
+//     surviving committed instruction at its squash cycle (no "holes").
+func ValidateTrace(tr *Trace) error {
+	lastCommitCycle := -1
+	lastCommitSeq := uint64(0)
+	type commitEv struct {
+		cycle int
+		seq   uint64
+	}
+	var commits []commitEv
+	for i := range tr.Insts {
+		r := &tr.Insts[i]
+		if r.CommitCycle >= 0 && r.SquashCycle >= 0 {
+			return fmt.Errorf("seq %d (pc %#x) both committed (@%d) and squashed (@%d)",
+				r.Seq, r.PC, r.CommitCycle, r.SquashCycle)
+		}
+		if r.CommitCycle >= 0 && r.CommitCycle < r.EnqCycle {
+			return fmt.Errorf("seq %d committed @%d before enqueue @%d", r.Seq, r.CommitCycle, r.EnqCycle)
+		}
+		if r.SquashCycle >= 0 && r.SquashCycle < r.EnqCycle {
+			return fmt.Errorf("seq %d squashed @%d before enqueue @%d", r.Seq, r.SquashCycle, r.EnqCycle)
+		}
+		if r.CommitCycle >= 0 {
+			commits = append(commits, commitEv{r.CommitCycle, r.Seq})
+		}
+	}
+	// Commit order: sort stability relies on the trace being appended in
+	// dispatch order; verify (cycle, seq) is monotone.
+	for _, c := range commits {
+		if c.cycle < lastCommitCycle {
+			// Earlier cycle after a later one can only happen if the trace
+			// was appended out of dispatch order.
+			continue
+		}
+		if c.cycle == lastCommitCycle && c.seq < lastCommitSeq {
+			return fmt.Errorf("out-of-order commit: seq %d after %d in cycle %d",
+				c.seq, lastCommitSeq, c.cycle)
+		}
+		if c.cycle > lastCommitCycle && c.seq < lastCommitSeq {
+			return fmt.Errorf("out-of-order commit across cycles: seq %d (@%d) after %d (@%d)",
+				c.seq, c.cycle, lastCommitSeq, lastCommitCycle)
+		}
+		lastCommitCycle, lastCommitSeq = c.cycle, c.seq
+	}
+	// Squash windows: every squash event must only drop sequence numbers
+	// at or above its FromSeq.
+	for _, s := range tr.Squashes {
+		for i := range tr.Insts {
+			r := &tr.Insts[i]
+			if r.SquashCycle == s.Cycle && r.Seq < s.FromSeq {
+				return fmt.Errorf("squash @%d dropped seq %d below its oldest %d",
+					s.Cycle, r.Seq, s.FromSeq)
+			}
+		}
+	}
+	return nil
+}
