@@ -79,6 +79,34 @@ func BenchmarkLivenessAnalysis(b *testing.B) {
 	}
 }
 
+// --- campaign engine scaling -----------------------------------------------
+
+// benchCampaign runs one fixed-size campaign per b.N and reports fuzzing
+// iterations per second. The campaign options are identical across worker
+// counts (the engine guarantees identical results), so the benchmarks
+// measure pure scheduling overhead and scaling.
+func benchCampaign(b *testing.B, workers int) {
+	const iterations = 64
+	for i := 0; i < b.N; i++ {
+		opts := core.DefaultOptions(uarch.KindBOOM)
+		opts.Seed = 42
+		opts.Iterations = iterations
+		opts.Workers = workers
+		opts.MergeEvery = 16
+		core.NewFuzzer(opts).Run()
+	}
+	b.ReportMetric(float64(iterations*b.N)/b.Elapsed().Seconds(), "iters/s")
+}
+
+// BenchmarkCampaignWorkers1 is the sequential baseline for the sharded
+// campaign engine.
+func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignWorkers8 measures the same campaign with 8 workers; on an
+// 8-core runner its iters/s should be ≥3× the Workers1 baseline (on fewer
+// cores it degrades gracefully — results stay identical either way).
+func BenchmarkCampaignWorkers8(b *testing.B) { benchCampaign(b, 8) }
+
 // --- ablation benches (DESIGN.md §4) ---------------------------------------
 
 // BenchmarkAblationTrainingReduction compares Phase 1 with and without the

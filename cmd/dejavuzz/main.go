@@ -5,25 +5,42 @@
 // Usage:
 //
 //	dejavuzz [-core boom|xiangshan] [-n iterations] [-seed N] [-workers N]
-//	         [-variant derived|random] [-no-feedback] [-no-liveness]
-//	         [-no-reduction] [-bugless] [-v]
+//	         [-shards N] [-variant derived|random] [-no-feedback]
+//	         [-no-liveness] [-no-reduction] [-bugless] [-v]
+//
+// Campaigns are deterministic: the same -seed/-n/-shards produce identical
+// findings and coverage for any -workers value.
+//
+// Matrix mode runs a grid of campaigns (cores × variants × ablations ×
+// seeds) over a shared worker pool with optional checkpoint/resume:
+//
+//	dejavuzz -matrix "cores=boom,xiangshan;variants=derived,random;ablations=base,no-feedback;seeds=1,2,3" \
+//	         [-n iterations] [-workers N] [-checkpoint state.json] [-progress]
+//
+// The single-campaign flags remain meaningful in matrix mode: -seed, -core,
+// -variant, -shards and the -no-*/-bugless ablation flags supply the base
+// options, which matrix dimensions override per axis when present.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dejavuzz"
+	"dejavuzz/internal/campaign"
 	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
 )
 
 func main() {
 	coreName := flag.String("core", "boom", "design under test: boom or xiangshan")
 	n := flag.Int("n", 200, "fuzzing iterations")
 	seed := flag.Int64("seed", 1, "campaign RNG seed")
-	workers := flag.Int("workers", 1, "parallel simulation workers")
+	workers := flag.Int("workers", 1, "parallel simulation workers (wall-time only; never changes results)")
+	shards := flag.Int("shards", 0, "deterministic logical shards (0 = default 8; changes stimulus streams)")
 	variant := flag.String("variant", "derived", "training strategy: derived (DejaVuzz) or random (DejaVuzz*)")
 	noFeedback := flag.Bool("no-feedback", false, "disable taint-coverage feedback (DejaVuzz-)")
 	noLiveness := flag.Bool("no-liveness", false, "disable tainted-sink liveness analysis")
@@ -31,34 +48,49 @@ func main() {
 	bugless := flag.Bool("bugless", false, "disable the injected bugs (regression baseline)")
 	verbose := flag.Bool("v", false, "print per-iteration statistics")
 	repro := flag.String("repro", "", "replay a serialised finding seed (JSON) instead of fuzzing")
+	matrix := flag.String("matrix", "", "campaign grid spec: cores=..;variants=..;ablations=..;seeds=..")
+	checkpoint := flag.String("checkpoint", "", "matrix mode: JSON checkpoint file for resume")
+	progress := flag.Bool("progress", false, "matrix mode: stream per-campaign progress to stderr")
 	flag.Parse()
 
+	kind, err := parseCore(*coreName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	trainVariant, err := parseVariant(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *matrix != "" {
+		base := core.DefaultOptions(kind)
+		base.Seed = *seed
+		base.Iterations = *n
+		base.Variant = trainVariant
+		if *shards > 0 {
+			base.Shards = *shards
+		}
+		base.UseCoverageFeedback = !*noFeedback
+		base.UseLiveness = !*noLiveness
+		base.UseReduction = !*noReduction
+		base.Bugless = *bugless
+		runMatrix(*matrix, base, *workers, *checkpoint, *progress)
+		return
+	}
+
 	cfg := dejavuzz.Config{
+		Core:                    kind,
 		Seed:                    *seed,
 		Iterations:              *n,
 		Workers:                 *workers,
+		Shards:                  *shards,
+		Variant:                 trainVariant,
 		DisableCoverageFeedback: *noFeedback,
 		DisableLiveness:         *noLiveness,
 		DisableReduction:        *noReduction,
 		Bugless:                 *bugless,
-	}
-	switch strings.ToLower(*coreName) {
-	case "boom":
-		cfg.Core = dejavuzz.BOOM
-	case "xiangshan", "xs":
-		cfg.Core = dejavuzz.XiangShan
-	default:
-		fmt.Fprintf(os.Stderr, "unknown core %q\n", *coreName)
-		os.Exit(2)
-	}
-	switch strings.ToLower(*variant) {
-	case "derived":
-		cfg.Variant = dejavuzz.Derived
-	case "random":
-		cfg.Variant = dejavuzz.RandomTraining
-	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-		os.Exit(2)
 	}
 
 	if *repro != "" {
@@ -103,5 +135,105 @@ func main() {
 	}
 	if len(rep.Findings) > 0 {
 		fmt.Printf("first finding after ~%v\n", rep.FirstBug.Round(1e6))
+	}
+}
+
+func parseCore(name string) (dejavuzz.CoreKind, error) {
+	switch strings.ToLower(name) {
+	case "boom":
+		return dejavuzz.BOOM, nil
+	case "xiangshan", "xs":
+		return dejavuzz.XiangShan, nil
+	}
+	return 0, fmt.Errorf("unknown core %q", name)
+}
+
+func parseVariant(name string) (gen.Variant, error) {
+	switch strings.ToLower(name) {
+	case "derived":
+		return gen.VariantDerived, nil
+	case "random":
+		return gen.VariantRandom, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", name)
+}
+
+// parseMatrix turns "cores=boom,xiangshan;variants=derived;ablations=base,
+// no-feedback;seeds=1,2" into a campaign matrix over the flag-derived base
+// options. Omitted dimensions collapse to the base's value (one cell).
+func parseMatrix(spec string, base core.Options) (campaign.Matrix, error) {
+	m := campaign.Matrix{Base: base}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, vals, ok := strings.Cut(field, "=")
+		if !ok {
+			return m, fmt.Errorf("matrix: bad field %q (want key=v1,v2,...)", field)
+		}
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			switch strings.TrimSpace(key) {
+			case "cores":
+				kind, err := parseCore(v)
+				if err != nil {
+					return m, fmt.Errorf("matrix: %w", err)
+				}
+				m.Cores = append(m.Cores, kind)
+			case "variants":
+				tv, err := parseVariant(v)
+				if err != nil {
+					return m, fmt.Errorf("matrix: %w", err)
+				}
+				m.Variants = append(m.Variants, tv)
+			case "ablations":
+				ab, err := campaign.AblationByName(v)
+				if err != nil {
+					return m, fmt.Errorf("matrix: %w", err)
+				}
+				m.Ablations = append(m.Ablations, ab)
+			case "seeds":
+				s, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return m, fmt.Errorf("matrix: bad seed %q", v)
+				}
+				m.Seeds = append(m.Seeds, s)
+			default:
+				return m, fmt.Errorf("matrix: unknown dimension %q", key)
+			}
+		}
+	}
+	return m, nil
+}
+
+func runMatrix(spec string, base core.Options, workers int, checkpoint string, progress bool) {
+	m, err := parseMatrix(spec, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	runner := campaign.Runner{Workers: workers, Checkpoint: checkpoint}
+	if progress {
+		runner.Progress = os.Stderr
+	}
+	results, err := runner.RunMatrix(m)
+	if results == nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-40s %-10s %-10s %-10s %-10s\n", "campaign", "findings", "coverage", "sims", "cached")
+	for _, res := range results {
+		rep := res.Report
+		fmt.Printf("%-40s %-10d %-10d %-10d %-10v\n",
+			res.Name, len(rep.Findings), rep.Coverage, rep.Sims, res.Cached)
+	}
+	if err != nil {
+		// Checkpoint-save failure: the campaigns above still completed.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

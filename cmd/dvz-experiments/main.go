@@ -11,6 +11,14 @@
 //	dvz-experiments table5  [-iters N] [-seed N]
 //	dvz-experiments liveness [-positives N] [-seed N]
 //	dvz-experiments all      (reduced-scale run of everything)
+//
+// Parallel experiments (table3, table5, figure7) additionally accept
+// shared-pool flags:
+//
+//	-workers N        campaigns/rows to run concurrently (default 1)
+//	-checkpoint FILE  JSON checkpoint for table5/figure7: finished campaigns
+//	                  are saved as they complete and restored on the next run
+//	-progress         stream progress to stderr (also honoured by table4)
 package main
 
 import (
@@ -36,47 +44,75 @@ func main() {
 	trials := fs.Int("trials", 5, "figure 7 trials")
 	positives := fs.Int("positives", 75, "SpecDoctor phase-3 positives to collect")
 	csv := fs.Bool("csv", false, "emit raw CSV series")
+	workers := fs.Int("workers", 1, "campaigns to run concurrently (shared pool width)")
+	checkpoint := fs.String("checkpoint", "", "JSON checkpoint file for campaign resume")
+	progress := fs.Bool("progress", false, "stream per-campaign progress to stderr")
 	fs.Parse(os.Args[2:])
+
+	var ropts []experiments.Option
+	if *workers > 1 {
+		ropts = append(ropts, experiments.WithWorkers(*workers))
+	}
+	if *checkpoint != "" {
+		ropts = append(ropts, experiments.WithCheckpoint(*checkpoint))
+	}
+	if *progress {
+		ropts = append(ropts, experiments.WithProgress(os.Stderr))
+	}
 
 	w := os.Stdout
 	switch cmd {
 	case "table2":
 		experiments.Table2(w)
 	case "table3":
-		experiments.Table3(w, *samples, *seed)
+		experiments.Table3(w, *samples, *seed, ropts...)
 	case "table4":
-		experiments.Table4(w, *budget, *cycles)
+		experiments.Table4(w, *budget, *cycles, ropts...)
 	case "figure6":
 		series := experiments.Figure6(w, *cycles)
 		if *csv {
 			experiments.Figure6CSV(w, series)
 		}
 	case "figure7":
-		series := experiments.Figure7(w, *iters, *trials, *seed)
-		if *csv {
+		series, err := experiments.Figure7(w, *iters, *trials, *seed, ropts...)
+		if *csv && series != nil {
 			experiments.Figure7CSV(w, series)
 		}
+		if err != nil {
+			fatal(err)
+		}
 	case "table5":
-		experiments.Table5(w, *iters, *seed)
+		if _, err := experiments.Table5(w, *iters, *seed, ropts...); err != nil {
+			fatal(err)
+		}
 	case "liveness":
 		experiments.Liveness(w, *positives, *seed)
 	case "all":
 		experiments.Table2(w)
 		fmt.Fprintln(w)
-		experiments.Table3(w, 5, *seed)
+		experiments.Table3(w, 5, *seed, ropts...)
 		fmt.Fprintln(w)
-		experiments.Table4(w, *budget, 4000)
+		experiments.Table4(w, *budget, 4000, ropts...)
 		fmt.Fprintln(w)
 		experiments.Figure6(w, 4000)
 		fmt.Fprintln(w)
-		experiments.Figure7(w, 60, 2, *seed)
+		if _, err := experiments.Figure7(w, 60, 2, *seed, ropts...); err != nil {
+			fatal(err)
+		}
 		fmt.Fprintln(w)
-		experiments.Table5(w, 120, *seed)
+		if _, err := experiments.Table5(w, 120, *seed, ropts...); err != nil {
+			fatal(err)
+		}
 		fmt.Fprintln(w)
 		experiments.Liveness(w, 30, *seed)
 	default:
 		usage()
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func usage() {

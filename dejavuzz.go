@@ -68,8 +68,13 @@ type Config struct {
 	Seed int64
 	// Iterations is the number of fuzzing iterations to run.
 	Iterations int
-	// Workers sets the number of parallel simulation workers.
+	// Workers sets the number of parallel simulation workers. Reports are
+	// identical for any Workers value: parallelism only changes wall time.
 	Workers int
+	// Shards sets the number of deterministic logical shards (default 8).
+	// Unlike Workers, changing Shards changes the campaign's stimulus
+	// streams and therefore its results.
+	Shards int
 	// Variant selects Derived (DejaVuzz) or RandomTraining (DejaVuzz*).
 	Variant Variant
 	// DisableCoverageFeedback yields the DejaVuzz− ablation.
@@ -98,6 +103,9 @@ func New(cfg Config) *Fuzzer {
 	}
 	if cfg.Workers > 0 {
 		opts.Workers = cfg.Workers
+	}
+	if cfg.Shards > 0 {
+		opts.Shards = cfg.Shards
 	}
 	opts.Variant = cfg.Variant
 	opts.UseCoverageFeedback = !cfg.DisableCoverageFeedback

@@ -1,0 +1,3 @@
+module dejavuzz
+
+go 1.24

@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+func smallBase(iterations int) core.Options {
+	opts := core.DefaultOptions(uarch.KindBOOM)
+	opts.Iterations = iterations
+	opts.MergeEvery = 8
+	return opts
+}
+
+func TestMatrixExpand(t *testing.T) {
+	m := Matrix{
+		Base:     smallBase(8),
+		Cores:    []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan},
+		Variants: []gen.Variant{gen.VariantDerived, gen.VariantRandom},
+		Ablations: []Ablation{
+			Baseline(),
+			{Name: "no-feedback", Apply: func(o *core.Options) { o.UseCoverageFeedback = false }},
+		},
+		Seeds: []int64{1, 2, 3},
+	}
+	specs := m.Expand()
+	if len(specs) != 2*2*2*3 {
+		t.Fatalf("expected 24 specs, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate spec name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if !names["XiangShan/DejaVuzz*/no-feedback/s2"] {
+		t.Errorf("missing expected spec name; have %v", specs[0].Name)
+	}
+	// The ablation must apply to its cell only.
+	for _, s := range specs {
+		wantFeedback := !strings.Contains(s.Name, "no-feedback")
+		if s.Opts.UseCoverageFeedback != wantFeedback {
+			t.Errorf("%s: UseCoverageFeedback=%v", s.Name, s.Opts.UseCoverageFeedback)
+		}
+	}
+}
+
+func TestMatrixExpandDefaults(t *testing.T) {
+	specs := Matrix{Base: smallBase(4)}.Expand()
+	if len(specs) != 1 {
+		t.Fatalf("expected 1 spec, got %d", len(specs))
+	}
+	if specs[0].Name != "BOOM/DejaVuzz/base" {
+		t.Errorf("unexpected default name %q", specs[0].Name)
+	}
+}
+
+// TestMatrixExpandZeroIterations checks that only the iteration count falls
+// back to the core default — other Base fields must survive (this regressed
+// once by substituting DefaultOptions wholesale).
+func TestMatrixExpandZeroIterations(t *testing.T) {
+	base := smallBase(0)
+	base.Seed = 77
+	base.Shards = 3
+	base.UseCoverageFeedback = false
+	specs := Matrix{Base: base}.Expand()
+	got := specs[0].Opts
+	if got.Iterations != core.DefaultOptions(uarch.KindBOOM).Iterations {
+		t.Errorf("Iterations=%d, want core default", got.Iterations)
+	}
+	if got.Seed != 77 || got.Shards != 3 || got.UseCoverageFeedback {
+		t.Errorf("base fields discarded: seed=%d shards=%d feedback=%v", got.Seed, got.Shards, got.UseCoverageFeedback)
+	}
+}
+
+func TestAblationByName(t *testing.T) {
+	ab, err := AblationByName("no-liveness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallBase(4)
+	ab.Apply(&opts)
+	if opts.UseLiveness {
+		t.Error("no-liveness ablation left UseLiveness on")
+	}
+	if _, err := AblationByName("bogus"); err == nil {
+		t.Error("expected error for unknown ablation")
+	}
+}
+
+// TestRunnerPoolWidthInvariance checks the matrix analogue of engine
+// determinism: the same specs give identical reports whether campaigns run
+// one at a time or eight wide.
+func TestRunnerPoolWidthInvariance(t *testing.T) {
+	m := Matrix{
+		Base:  smallBase(16),
+		Seeds: []int64{11, 12, 13, 14},
+	}
+	seq, err := (&Runner{Workers: 1}).RunMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&Runner{Workers: 8}).RunMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Name != par[i].Name {
+			t.Fatalf("result order differs at %d: %q vs %q", i, seq[i].Name, par[i].Name)
+		}
+		if !reflect.DeepEqual(seq[i].Report.Findings, par[i].Report.Findings) {
+			t.Errorf("%s: findings differ across pool widths", seq[i].Name)
+		}
+		if seq[i].Report.Coverage != par[i].Report.Coverage {
+			t.Errorf("%s: coverage differs across pool widths", seq[i].Name)
+		}
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	m := Matrix{Base: smallBase(12), Seeds: []int64{5, 6}}
+
+	first, err := (&Runner{Workers: 2, Checkpoint: path}).RunMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range first {
+		if res.Cached {
+			t.Errorf("%s: fresh run reported cached", res.Name)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	second, err := (&Runner{Workers: 2, Checkpoint: path}).RunMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range second {
+		if !res.Cached {
+			t.Errorf("%s: resumed run re-executed", res.Name)
+		}
+		if !reflect.DeepEqual(res.Report.Findings, first[i].Report.Findings) {
+			t.Errorf("%s: checkpointed findings do not round-trip", res.Name)
+		}
+		if res.Report.Coverage != first[i].Report.Coverage {
+			t.Errorf("%s: checkpointed coverage does not round-trip", res.Name)
+		}
+	}
+
+	// A widened matrix only runs the new cells.
+	wider := Matrix{Base: smallBase(12), Seeds: []int64{5, 6, 7}}
+	third, err := (&Runner{Workers: 2, Checkpoint: path}).RunMatrix(wider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, res := range third {
+		if res.Cached {
+			cached++
+		}
+	}
+	if cached != 2 {
+		t.Errorf("expected 2 cached cells after widening, got %d", cached)
+	}
+}
+
+// TestCheckpointOptionMismatch checks that a checkpoint entry whose options
+// do not match the spec (stale file, key collision) is re-run, not restored.
+func TestCheckpointOptionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	m := Matrix{Base: smallBase(8)}
+	if _, err := (&Runner{Checkpoint: path}).RunMatrix(m); err != nil {
+		t.Fatal(err)
+	}
+	// Workers-only differences ARE compatible (determinism guarantee).
+	wide := m
+	wide.Base.Workers = 8
+	res, err := (&Runner{Checkpoint: path}).RunMatrix(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Cached {
+		t.Fatal("workers-only difference invalidated the checkpoint")
+	}
+	// Same spec name, different seed: must not be served from the cache.
+	changed := m
+	changed.Base.Seed = 999
+	res, err = (&Runner{Checkpoint: path}).RunMatrix(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Cached {
+		t.Fatal("mismatched checkpoint entry was restored")
+	}
+	if res[0].Report.Options.Seed != 999 {
+		t.Fatalf("re-run used seed %d, want 999", res[0].Report.Options.Seed)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := (&Runner{Checkpoint: path}).RunMatrix(Matrix{Base: smallBase(4)})
+	if err == nil {
+		t.Fatal("expected error on malformed checkpoint")
+	}
+}
+
+func TestProgressStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	m := Matrix{Base: smallBase(16), Seeds: []int64{21, 22}}
+	if _, err := (&Runner{Workers: 2, Progress: &buf}).RunMatrix(m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"start:", "iterations, coverage=", "done:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress stream missing %q:\n%s", want, out)
+		}
+	}
+	// One line per merge barrier: 16 iters / MergeEvery=8 = 2 per campaign.
+	if n := strings.Count(out, "16/16 iterations"); n != 2 {
+		t.Errorf("expected 2 final-barrier lines, got %d:\n%s", n, out)
+	}
+}

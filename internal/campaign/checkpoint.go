@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dejavuzz/internal/core"
+)
+
+// checkpointVersion guards against format drift between PRs.
+const checkpointVersion = 1
+
+// checkpoint is the on-disk resume state: finished campaign reports keyed by
+// spec name. Reports round-trip losslessly through JSON (seeds included), so
+// a resumed matrix serves the exact bytes of the original run.
+type checkpoint struct {
+	Version int                     `json:"version"`
+	Results map[string]*core.Report `json:"results"`
+}
+
+func emptyCheckpoint() *checkpoint {
+	return &checkpoint{Version: checkpointVersion, Results: map[string]*core.Report{}}
+}
+
+// loadCheckpoint reads the checkpoint file; a missing file or empty path is
+// an empty checkpoint, a malformed or version-mismatched file is an error
+// (silently discarding finished campaigns would be worse than stopping).
+func loadCheckpoint(path string) (*checkpoint, error) {
+	if path == "" {
+		return emptyCheckpoint(), nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return emptyCheckpoint(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var c checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, c.Version, checkpointVersion)
+	}
+	if c.Results == nil {
+		c.Results = map[string]*core.Report{}
+	}
+	return &c, nil
+}
+
+// saveCheckpoint atomically rewrites the checkpoint (write temp + rename),
+// so an interrupted run never truncates previously saved campaigns.
+func saveCheckpoint(path string, c *checkpoint) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package campaign runs grids of DejaVuzz fuzzing campaigns — the cores ×
+// training-variants × ablations matrices behind the paper's Tables 3–5 and
+// Figure 7 — over one shared worker pool, with JSON checkpoint/resume and
+// streaming per-campaign progress. It builds on internal/core's
+// deterministic sharded engine, so every cell's report is reproducible from
+// its options alone regardless of pool width.
+package campaign
+
+import (
+	"fmt"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/uarch"
+)
+
+// Spec is one campaign cell: a name (the checkpoint key) and the full
+// deterministic options that produce its report.
+type Spec struct {
+	Name string
+	Opts core.Options
+}
+
+// Ablation names an options mutation (e.g. "no-feedback" for DejaVuzz−).
+// The zero Apply is the identity, for the baseline row.
+type Ablation struct {
+	Name  string
+	Apply func(*core.Options)
+}
+
+// Baseline is the identity ablation.
+func Baseline() Ablation { return Ablation{Name: "base"} }
+
+// NamedAblations maps the CLI ablation vocabulary onto option mutations.
+var NamedAblations = map[string]func(*core.Options){
+	"base":         nil,
+	"no-feedback":  func(o *core.Options) { o.UseCoverageFeedback = false },
+	"no-liveness":  func(o *core.Options) { o.UseLiveness = false },
+	"no-reduction": func(o *core.Options) { o.UseReduction = false },
+	"bugless":      func(o *core.Options) { o.Bugless = true },
+}
+
+// AblationByName resolves a named ablation.
+func AblationByName(name string) (Ablation, error) {
+	fn, ok := NamedAblations[name]
+	if !ok {
+		return Ablation{}, fmt.Errorf("campaign: unknown ablation %q", name)
+	}
+	return Ablation{Name: name, Apply: fn}, nil
+}
+
+// Matrix describes a campaign grid: cores × variants × ablations × seeds.
+// Empty dimensions collapse to the Base options' value (one cell on that
+// axis).
+type Matrix struct {
+	// Prefix namespaces spec names (and so checkpoint keys), letting several
+	// matrices share one checkpoint file without key collisions.
+	Prefix string
+	// Base supplies the shared options; a zero Iterations falls back to the
+	// core's DefaultOptions iteration count (all other Base fields are
+	// always honoured).
+	Base      core.Options
+	Cores     []uarch.CoreKind
+	Variants  []gen.Variant
+	Ablations []Ablation
+	// Seeds runs each cell at several campaign seeds (the paper's trials).
+	Seeds []int64
+}
+
+// Expand enumerates the grid into deterministic, stably-named specs. The
+// order is fixed (cores outermost, seeds innermost) so checkpoint files and
+// result slices line up run-to-run.
+func (m Matrix) Expand() []Spec {
+	cores := m.Cores
+	if len(cores) == 0 {
+		cores = []uarch.CoreKind{m.Base.Core}
+	}
+	variants := m.Variants
+	if len(variants) == 0 {
+		variants = []gen.Variant{m.Base.Variant}
+	}
+	ablations := m.Ablations
+	if len(ablations) == 0 {
+		ablations = []Ablation{Baseline()}
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{m.Base.Seed}
+	}
+
+	var out []Spec
+	for _, kind := range cores {
+		for _, v := range variants {
+			for _, ab := range ablations {
+				for _, seed := range seeds {
+					opts := m.Base
+					if opts.Iterations == 0 {
+						opts.Iterations = core.DefaultOptions(kind).Iterations
+					}
+					opts.Core = kind
+					opts.Variant = v
+					opts.Seed = seed
+					if ab.Apply != nil {
+						ab.Apply(&opts)
+					}
+					name := fmt.Sprintf("%v/%v/%s", kind, v, ab.Name)
+					if m.Prefix != "" {
+						name = m.Prefix + "/" + name
+					}
+					if len(seeds) > 1 {
+						name = fmt.Sprintf("%s/s%d", name, seed)
+					}
+					out = append(out, Spec{Name: name, Opts: opts})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// RunJobs executes jobs over a pool of at most workers goroutines and
+// blocks until all complete. Zero or negative workers means sequential.
+func RunJobs(workers int, jobs []func()) {
+	if workers <= 0 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(job func()) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			job()
+		}(job)
+	}
+	wg.Wait()
+}
+
+// ProgressLog serializes streaming progress lines from concurrent jobs onto
+// one writer. A nil writer makes every Logf a no-op.
+type ProgressLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgressLog wraps w (which may be nil).
+func NewProgressLog(w io.Writer) *ProgressLog { return &ProgressLog{w: w} }
+
+// Logf writes one progress line atomically.
+func (p *ProgressLog) Logf(format string, args ...any) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintf(p.w, format+"\n", args...)
+	p.mu.Unlock()
+}

@@ -15,6 +15,19 @@ type covKey struct {
 	count  int
 }
 
+// covKeyFor normalizes one taint sample into its coverage key; ok is false
+// for samples that contribute no coverage (zero taints).
+func covKeyFor(s uarch.TaintSample) (covKey, bool) {
+	if s.Tainted == 0 {
+		return covKey{}, false
+	}
+	n := s.Tainted
+	if n >= covSlots {
+		n = covSlots - 1
+	}
+	return covKey{module: s.Module, count: n}, true
+}
+
 // Coverage is the taint coverage matrix (§4.2.2): every (module,
 // tainted-element-count) pair observed during a transient window is one
 // coverage point. It is locality-aware (module-level) and
@@ -36,14 +49,65 @@ func (c *Coverage) AddFromLog(log []uarch.TaintSample) int {
 	defer c.mu.Unlock()
 	added := 0
 	for _, s := range log {
-		if s.Tainted == 0 {
+		k, ok := covKeyFor(s)
+		if !ok {
 			continue
 		}
-		n := s.Tainted
-		if n >= covSlots {
-			n = covSlots - 1
+		if _, dup := c.points[k]; !dup {
+			c.points[k] = struct{}{}
+			added++
 		}
-		k := covKey{module: s.Module, count: n}
+	}
+	return added
+}
+
+// Delta is a shard-local coverage view: it counts points that are new with
+// respect to the parent matrix's state at the time the delta was created,
+// plus its own accumulation. Deltas are single-goroutine; the parent matrix
+// must not be mutated while any delta derived from it is live (the campaign
+// engine guarantees this by only absorbing deltas at merge barriers).
+type Delta struct {
+	base   *Coverage
+	points map[covKey]struct{}
+}
+
+// NewDelta derives an empty shard-local delta from the matrix.
+func (c *Coverage) NewDelta() *Delta {
+	return &Delta{base: c, points: make(map[covKey]struct{})}
+}
+
+// AddFromLog folds a taint log into the delta and returns how many points
+// were new relative to base ∪ delta. Not safe for concurrent use on the same
+// delta; distinct deltas over one quiescent base may run in parallel.
+func (d *Delta) AddFromLog(log []uarch.TaintSample) int {
+	added := 0
+	for _, s := range log {
+		k, ok := covKeyFor(s)
+		if !ok {
+			continue
+		}
+		if _, dup := d.base.points[k]; dup {
+			continue
+		}
+		if _, dup := d.points[k]; dup {
+			continue
+		}
+		d.points[k] = struct{}{}
+		added++
+	}
+	return added
+}
+
+// Count returns the number of points accumulated in the delta.
+func (d *Delta) Count() int { return len(d.points) }
+
+// Absorb merges a delta into the matrix and returns how many of its points
+// were globally new (deltas from sibling shards may overlap).
+func (c *Coverage) Absorb(d *Delta) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for k := range d.points {
 		if _, ok := c.points[k]; !ok {
 			c.points[k] = struct{}{}
 			added++

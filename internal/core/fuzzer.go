@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -8,12 +9,29 @@ import (
 	"dejavuzz/internal/uarch"
 )
 
+// corpusCap bounds the merged campaign corpus (the paper keeps a small
+// above-average-gain seed pool).
+const corpusCap = 256
+
 // Options configures a fuzzing campaign.
 type Options struct {
 	Core       uarch.CoreKind
 	Seed       int64
 	Iterations int
-	Workers    int
+	// Workers is the number of OS-level workers executing shards. It affects
+	// wall-clock time only: a campaign's results are identical for any
+	// Workers value given the same Seed, Iterations, Shards and MergeEvery.
+	Workers int
+	// Shards is the number of deterministic logical shards. Each shard owns a
+	// private generator stream derived from (Seed, shard id), a private
+	// corpus view and a private coverage delta; iteration i belongs to shard
+	// i mod Shards. Changing Shards changes results (it reshapes the streams)
+	// — changing Workers never does.
+	Shards int
+	// MergeEvery is the iteration-count barrier interval at which shard
+	// coverage deltas and corpus additions merge into the global state, in
+	// fixed shard order.
+	MergeEvery int
 	MaxCycles  int
 
 	// Variant selects derived (DejaVuzz) or random (DejaVuzz*) training.
@@ -34,6 +52,27 @@ type Options struct {
 	// (a secret pair can coincide on a control signal). swapMem's dedicated
 	// region makes retrying cheap: only the secret is reloaded.
 	SecretRetries int
+
+	// OnEpoch, when set, is called after every merge barrier with the number
+	// of completed iterations, the campaign total and the merged coverage
+	// count. It runs on the engine goroutine at deterministic points, so it
+	// is safe for streaming progress and checkpoint hooks.
+	OnEpoch func(done, total, coverage int) `json:"-"`
+}
+
+// Normalized returns the options with engine defaults applied — the exact
+// options a Report produced by NewFuzzer(o).Run() will carry.
+func (o Options) Normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.MergeEvery <= 0 {
+		o.MergeEvery = 64
+	}
+	return o
 }
 
 // DefaultOptions returns the standard DejaVuzz configuration.
@@ -43,6 +82,8 @@ func DefaultOptions(core uarch.CoreKind) Options {
 		Seed:                1,
 		Iterations:          100,
 		Workers:             1,
+		Shards:              8,
+		MergeEvery:          64,
 		MaxCycles:           20000,
 		Variant:             gen.VariantDerived,
 		UseCoverageFeedback: true,
@@ -58,10 +99,18 @@ type IterStat struct {
 	Trigger   gen.TriggerType
 	Triggered bool
 	TaintGain bool
+	// NewPoints is the iteration's coverage gain relative to its shard's
+	// view (epoch-start global state plus the shard's own delta); sibling
+	// shards discovering the same point in one epoch each count it.
 	NewPoints int
-	Coverage  int // cumulative coverage after this iteration
-	Sims      int
-	Finding   bool
+	// Coverage is the cumulative campaign coverage after this iteration.
+	// Within an epoch it interpolates from shard-local gains (an upper
+	// bound); at every merge barrier it is exact — equal to the merged
+	// global matrix count — so the final entry always equals
+	// Report.Coverage.
+	Coverage int
+	Sims     int
+	Finding  bool
 }
 
 // Report is a fuzzing campaign's result.
@@ -91,14 +140,7 @@ type Fuzzer struct {
 	cfg      uarch.Config
 	gen      *gen.Generator
 	coverage *Coverage
-
-	mu        sync.Mutex
-	corpus    []gen.Seed
-	avgGain   float64
-	gainCount int
-	pending   []Finding
-	deadSinks int
-	pickCount int
+	corpus   []gen.Seed // merged global corpus, mutated only at barriers
 }
 
 // NewFuzzer builds a fuzzer for the options.
@@ -107,9 +149,7 @@ func NewFuzzer(opts Options) *Fuzzer {
 	if opts.Bugless {
 		cfg.Bugs = uarch.BugSet{}
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
+	opts = opts.Normalized()
 	return &Fuzzer{
 		opts:     opts,
 		cfg:      cfg,
@@ -125,44 +165,63 @@ func (f *Fuzzer) runOpts(mode uarch.IFTMode, taintTrace bool) RunOpts {
 	return RunOpts{Cfg: f.cfg, Mode: mode, TaintTrace: taintTrace, MaxCycles: f.opts.MaxCycles}
 }
 
-// nextSeed picks the next seed: mutate a corpus member (coverage feedback)
-// or draw a fresh one.
-func (f *Fuzzer) nextSeed() gen.Seed {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.opts.UseCoverageFeedback && len(f.corpus) > 0 && f.pickCount%2 == 0 {
-		f.pickCount++
-		base := f.corpus[f.pickCount/2%len(f.corpus)]
-		return f.gen.Mutate(base)
-	}
-	f.pickCount++
-	s := f.gen.RandomSeed(f.opts.Core)
-	s.Variant = f.opts.Variant
-	return s
+// shard is one deterministic slice of a campaign: a private generator
+// stream, a private corpus view and a private coverage delta. A shard is
+// only ever touched by one worker at a time, so it needs no locks; its state
+// depends only on (campaign seed, shard id) and the barrier-merged global
+// state, never on worker scheduling.
+type shard struct {
+	f   *Fuzzer
+	id  int
+	gen *gen.Generator
+
+	// corpus is the epoch-start snapshot of the global corpus (capacity-
+	// clamped so appends never alias sibling shards) plus local appends.
+	corpus   []gen.Seed
+	newSeeds []gen.Seed // local appends this epoch, merged at the barrier
+	cov      *Delta
+
+	avgGain   float64
+	gainCount int
+	pickCount int
+	findings  []Finding
+	deadSinks int
 }
 
-func (f *Fuzzer) feedback(seed gen.Seed, newPoints int, taintGain bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.gainCount++
-	f.avgGain += (float64(newPoints) - f.avgGain) / float64(f.gainCount)
-	if !f.opts.UseCoverageFeedback {
+// nextSeed picks the next seed: mutate a corpus member (coverage feedback)
+// or draw a fresh one.
+func (s *shard) nextSeed() gen.Seed {
+	if s.f.opts.UseCoverageFeedback && len(s.corpus) > 0 && s.pickCount%2 == 0 {
+		s.pickCount++
+		base := s.corpus[s.pickCount/2%len(s.corpus)]
+		return s.gen.Mutate(base)
+	}
+	s.pickCount++
+	sd := s.gen.RandomSeed(s.f.opts.Core)
+	sd.Variant = s.f.opts.Variant
+	return sd
+}
+
+func (s *shard) feedback(seed gen.Seed, newPoints int, taintGain bool) {
+	s.gainCount++
+	s.avgGain += (float64(newPoints) - s.avgGain) / float64(s.gainCount)
+	if !s.f.opts.UseCoverageFeedback {
 		return
 	}
 	// Keep seeds whose coverage gain beats the running average (the paper's
 	// "less than the average increase -> mutate / discard" rule).
-	if taintGain && float64(newPoints) >= f.avgGain {
-		f.corpus = append(f.corpus, seed)
-		if len(f.corpus) > 256 {
-			f.corpus = f.corpus[len(f.corpus)-256:]
-		}
+	if taintGain && float64(newPoints) >= s.avgGain {
+		s.corpus = append(s.corpus, seed)
+		s.newSeeds = append(s.newSeeds, seed)
 	}
 }
 
-// RunIteration executes one complete fuzzing iteration (all three phases).
-func (f *Fuzzer) RunIteration(iter int) IterStat {
+// runIteration executes one complete fuzzing iteration (all three phases)
+// against the shard's private state.
+func (s *shard) runIteration(iter int) IterStat {
+	f := s.f
 	stat := IterStat{Iteration: iter}
-	seed := f.nextSeed()
+	seed := s.nextSeed()
 	stat.Trigger = seed.Trigger
 
 	p1, err := f.Phase1(seed)
@@ -175,14 +234,14 @@ func (f *Fuzzer) RunIteration(iter int) IterStat {
 	}
 	stat.Triggered = true
 
-	p2, err := f.Phase2(p1)
+	p2, err := f.phase2Into(p1, s.cov)
 	if err != nil {
 		return stat
 	}
 	stat.Sims += p2.Sims
 	stat.TaintGain = p2.TaintGain
 	stat.NewPoints = p2.NewPoints
-	f.feedback(seed, p2.NewPoints, p2.TaintGain)
+	s.feedback(seed, p2.NewPoints, p2.TaintGain)
 	if !p2.TaintGain {
 		return stat
 	}
@@ -195,55 +254,126 @@ func (f *Fuzzer) RunIteration(iter int) IterStat {
 	if p3.Finding != nil {
 		p3.Finding.Iteration = iter
 		stat.Finding = true
-		f.mu.Lock()
-		f.pending = append(f.pending, *p3.Finding)
-		f.mu.Unlock()
+		s.findings = append(s.findings, *p3.Finding)
 	} else if p3.DeadSinksOnly {
-		f.mu.Lock()
-		f.deadSinks++
-		f.mu.Unlock()
+		s.deadSinks++
 	}
 	return stat
 }
 
-// Run executes the campaign and returns its report.
+// Run executes the campaign and returns its report. Reports are
+// deterministic in (Seed, Iterations, Shards, MergeEvery): the same options
+// yield byte-identical Findings, Iters and Coverage whether Workers is 1 or
+// 16 (only Duration and the wall-clock FirstBug estimate vary).
 func (f *Fuzzer) Run() *Report {
 	start := time.Now()
 	rep := &Report{Options: f.opts}
-	iters := make([]IterStat, f.opts.Iterations)
-
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < f.opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				iters[i] = f.RunIteration(i)
-			}
-		}()
+	n := f.opts.Iterations
+	numShards := f.opts.Shards
+	workers := f.opts.Workers
+	if workers > numShards {
+		workers = numShards
 	}
-	for i := 0; i < f.opts.Iterations; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 
+	shards := make([]*shard, numShards)
+	for i := range shards {
+		shards[i] = &shard{f: f, id: i, gen: gen.NewShard(f.opts.Seed, i)}
+	}
+	iters := make([]IterStat, n)
+	// Per-epoch (end iteration, merged global count) pairs for history
+	// reconciliation below.
+	type epochMark struct{ end, count int }
+	var marks []epochMark
+
+	for lo := 0; lo < n; lo += f.opts.MergeEvery {
+		hi := lo + f.opts.MergeEvery
+		if hi > n {
+			hi = n
+		}
+		// Epoch start: every shard snapshots the merged corpus. The full
+		// slice expression clamps capacity so shard appends reallocate
+		// instead of aliasing siblings.
+		snap := f.corpus[:len(f.corpus):len(f.corpus)]
+		for _, s := range shards {
+			s.corpus = snap
+			s.newSeeds = s.newSeeds[:0]
+			s.cov = f.coverage.NewDelta()
+		}
+
+		// Workers drain whole shards; shard state stays single-owner and the
+		// global coverage/corpus are read-only until the barrier.
+		var wg sync.WaitGroup
+		work := make(chan *shard)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range work {
+					// First iteration in [lo, hi) congruent to s.id mod Shards.
+					first := lo - lo%numShards + s.id
+					if first < lo {
+						first += numShards
+					}
+					for i := first; i < hi; i += numShards {
+						iters[i] = s.runIteration(i)
+					}
+				}
+			}()
+		}
+		for _, s := range shards {
+			work <- s
+		}
+		close(work)
+		wg.Wait()
+
+		// Barrier: merge in fixed shard order.
+		for _, s := range shards {
+			f.coverage.Absorb(s.cov)
+			f.corpus = append(f.corpus, s.newSeeds...)
+		}
+		if len(f.corpus) > corpusCap {
+			f.corpus = f.corpus[len(f.corpus)-corpusCap:]
+		}
+		merged := f.coverage.Count()
+		marks = append(marks, epochMark{end: hi, count: merged})
+		if f.opts.OnEpoch != nil {
+			f.opts.OnEpoch(hi, n, merged)
+		}
+	}
+
+	// Reconcile the coverage history: shard-local NewPoints can overcount
+	// (cross-shard duplicates within an epoch), so the running sum is
+	// clamped to — and pinned at every barrier to — the merged global count
+	// recorded when that epoch's deltas were absorbed.
 	cum := 0
+	epoch := 0
 	firstBug := time.Duration(0)
 	for i := range iters {
 		cum += iters[i].NewPoints
+		if epoch < len(marks) {
+			if i+1 == marks[epoch].end {
+				// Exact at the barrier, whatever the shard-local sums said.
+				cum = marks[epoch].count
+				epoch++
+			} else if cum > marks[epoch].count {
+				cum = marks[epoch].count
+			}
+		}
 		iters[i].Coverage = cum
 		rep.Sims += iters[i].Sims
 		if iters[i].Finding && firstBug == 0 {
 			// Approximate time-to-first-bug by proportion of wall time.
-			firstBug = time.Duration(float64(time.Since(start)) * float64(i+1) / float64(f.opts.Iterations))
+			firstBug = time.Duration(float64(time.Since(start)) * float64(i+1) / float64(n))
 		}
 	}
-	f.mu.Lock()
-	rep.Findings = append(rep.Findings, f.pending...)
-	rep.DeadSinks = f.deadSinks
-	f.mu.Unlock()
+	for _, s := range shards {
+		rep.Findings = append(rep.Findings, s.findings...)
+		rep.DeadSinks += s.deadSinks
+	}
+	// At most one finding per iteration, so iteration order is total.
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].Iteration < rep.Findings[j].Iteration
+	})
 	rep.Iters = iters
 	rep.Coverage = f.coverage.Count()
 	rep.Duration = time.Since(start)

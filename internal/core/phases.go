@@ -128,10 +128,21 @@ type Phase2Result struct {
 	Sims      int
 }
 
+// covSink is where Phase 2 folds observed taint logs: the global matrix for
+// sequential use, a shard-local Delta inside the campaign engine.
+type covSink interface {
+	AddFromLog(log []uarch.TaintSample) int
+}
+
 // Phase2 implements Step 2.1/2.2: complete the window with secret access and
 // encode blocks, run the diffIFT differential testbench, and measure taint
-// coverage.
+// coverage against the fuzzer's global matrix.
 func (f *Fuzzer) Phase2(p1 *Phase1Result) (*Phase2Result, error) {
+	return f.phase2Into(p1, f.coverage)
+}
+
+// phase2Into is Phase2 with an explicit coverage sink.
+func (f *Fuzzer) phase2Into(p1 *Phase1Result, sink covSink) (*Phase2Result, error) {
 	cst, err := f.gen.CompleteWindow(p1.Stimulus)
 	if err != nil {
 		return nil, err
@@ -141,6 +152,7 @@ func (f *Fuzzer) Phase2(p1 *Phase1Result) (*Phase2Result, error) {
 		retries = 1
 	}
 	var res *Phase2Result
+	newPoints := 0 // cumulative across retries: each attempt's log reaches the sink
 	for attempt := 0; attempt < retries; attempt++ {
 		opts := f.runOpts(uarch.IFTDiff, true)
 		opts.Secret = rotateSecret(DefaultSecret, attempt)
@@ -167,7 +179,11 @@ func (f *Fuzzer) Phase2(p1 *Phase1Result) (*Phase2Result, error) {
 			}
 			r.TaintGain = peak > before
 		}
-		r.NewPoints = f.coverage.AddFromLog(pair.A.Trace.TaintLog)
+		// Accumulate across attempts: every attempt's taints land in the
+		// sink, so NewPoints must report the union's growth or campaign
+		// coverage histories undercount retry-discovered points.
+		newPoints += sink.AddFromLog(pair.A.Trace.TaintLog)
+		r.NewPoints = newPoints
 		if res != nil {
 			r.Sims += res.Sims
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dejavuzz/internal/campaign"
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/specdoctor"
@@ -45,27 +46,44 @@ func (s Figure7Series) Final() float64 {
 
 // Figure7 compares taint-coverage growth for DejaVuzz, DejaVuzz− (no
 // coverage feedback) and SpecDoctor (phase-3 test cases replayed through the
-// diffIFT environment, as the paper does) over `iterations` per trial.
-func Figure7(w io.Writer, iterations, trials int, seed int64) []Figure7Series {
+// diffIFT environment, as the paper does) over `iterations` per trial. The
+// DejaVuzz campaigns run as one campaign matrix (ablations × trial seeds)
+// over the shared worker pool configured by opts. The error is non-nil only
+// for checkpoint I/O failures.
+func Figure7(w io.Writer, iterations, trials int, seed int64, opts ...Option) ([]Figure7Series, error) {
 	kind := uarch.KindBOOM
+	cfg := runConfig(opts)
 	series := []Figure7Series{{Name: "DejaVuzz"}, {Name: "DejaVuzz-"}, {Name: "SpecDoctor"}}
+	var runErr error
 
-	for trial := 0; trial < trials; trial++ {
-		tseed := seed + int64(trial)*7919
+	seeds := make([]int64, trials)
+	for trial := range seeds {
+		seeds[trial] = seed + int64(trial)*7919
+	}
+	if trials > 0 {
+		base := core.DefaultOptions(kind)
+		base.Iterations = iterations
+		noFeedback, _ := campaign.AblationByName("no-feedback")
+		m := campaign.Matrix{
+			Prefix:    fmt.Sprintf("figure7/i%d", iterations),
+			Base:      base,
+			Ablations: []campaign.Ablation{campaign.Baseline(), noFeedback},
+			Seeds:     seeds,
+		}
+		runner := campaign.Runner{Workers: cfg.Workers, Checkpoint: cfg.Checkpoint, Progress: cfg.Progress}
+		results, rerr := runner.RunMatrix(m)
+		if results == nil {
+			return nil, rerr
+		}
+		runErr = rerr // checkpoint-save failure: keep the computed results
+		// Expansion order: all baseline trials, then all no-feedback trials.
+		for i, res := range results {
+			si := i / trials // 0 = DejaVuzz, 1 = DejaVuzz−
+			series[si].Trials = append(series[si].Trials, res.Report.CoverageHistory())
+		}
+	}
 
-		// DejaVuzz with coverage feedback.
-		opts := core.DefaultOptions(kind)
-		opts.Seed = tseed
-		opts.Iterations = iterations
-		rep := core.NewFuzzer(opts).Run()
-		series[0].Trials = append(series[0].Trials, rep.CoverageHistory())
-
-		// DejaVuzz− ablation: random regeneration each round.
-		opts2 := opts
-		opts2.UseCoverageFeedback = false
-		rep2 := core.NewFuzzer(opts2).Run()
-		series[1].Trials = append(series[1].Trials, rep2.CoverageHistory())
-
+	for _, tseed := range seeds {
 		// SpecDoctor: replay generated cases and measure OUR taint coverage.
 		sd := specdoctor.New(specdoctor.Options{Core: kind, Seed: tseed})
 		cov := core.NewCoverage()
@@ -112,7 +130,7 @@ func Figure7(w io.Writer, iterations, trials int, seed int64) []Figure7Series {
 		}
 	}
 	fmt.Fprintf(w, "DejaVuzz reaches SpecDoctor's final coverage at iteration %d of %d\n", cross, iterations)
-	return series
+	return series, runErr
 }
 
 // Figure7CSV writes the raw mean series for plotting.

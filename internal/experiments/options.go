@@ -1,0 +1,32 @@
+package experiments
+
+import "io"
+
+// RunConfig tunes how campaign-backed experiments (Table 5, Figure 7)
+// execute: pool width, checkpoint/resume and streaming progress. It does not
+// affect results — campaigns are deterministic in their options.
+type RunConfig struct {
+	Workers    int
+	Checkpoint string
+	Progress   io.Writer
+}
+
+// Option mutates a RunConfig.
+type Option func(*RunConfig)
+
+// WithWorkers sets the shared campaign pool width.
+func WithWorkers(n int) Option { return func(c *RunConfig) { c.Workers = n } }
+
+// WithCheckpoint enables JSON checkpoint/resume at path.
+func WithCheckpoint(path string) Option { return func(c *RunConfig) { c.Checkpoint = path } }
+
+// WithProgress streams per-campaign progress lines to w.
+func WithProgress(w io.Writer) Option { return func(c *RunConfig) { c.Progress = w } }
+
+func runConfig(opts []Option) RunConfig {
+	var c RunConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

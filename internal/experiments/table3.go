@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dejavuzz/internal/campaign"
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/specdoctor"
@@ -37,45 +38,73 @@ type Table3Result struct {
 
 // Table3 measures training overhead per transient-window type for DejaVuzz,
 // DejaVuzz* (random training) and — on BOOM — SpecDoctor, over `samples`
-// Phase-1 attempts per cell.
-func Table3(w io.Writer, samples int, seed int64) []Table3Result {
-	var out []Table3Result
-	for _, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
-		res := Table3Result{Core: kind, Rows: map[string]map[gen.TriggerType]Table3Cell{}}
-
+// Phase-1 attempts per cell. Each (fuzzer, core) row owns a private
+// deterministic fuzzer, so rows run concurrently on the shared pool (sized
+// by WithWorkers) without changing any cell.
+func Table3(w io.Writer, samples int, seed int64, ropts ...Option) []Table3Result {
+	cfg := runConfig(ropts)
+	cores := []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan}
+	out := make([]Table3Result, len(cores))
+	type rowJob struct {
+		core int
+		name string
+		run  func() map[gen.TriggerType]Table3Cell
+	}
+	var jobs []rowJob
+	for ci, kind := range cores {
+		out[ci] = Table3Result{Core: kind, Rows: map[string]map[gen.TriggerType]Table3Cell{}}
 		for _, variant := range []gen.Variant{gen.VariantDerived, gen.VariantRandom} {
-			opts := core.DefaultOptions(kind)
-			opts.Seed = seed
-			f := core.NewFuzzer(opts)
-			cells := map[gen.TriggerType]Table3Cell{}
-			for _, t := range gen.AllTriggerTypes() {
-				st := f.MeasureTraining(t, variant, samples)
-				cells[t] = Table3Cell{
-					Triggerable: st.Triggerable(),
-					TO:          st.AvgTO,
-					ETO:         st.AvgETO,
-					HasETO:      variant == gen.VariantDerived,
+			out[ci].Order = append(out[ci].Order, variant.String())
+			jobs = append(jobs, rowJob{core: ci, name: variant.String(), run: func() map[gen.TriggerType]Table3Cell {
+				opts := core.DefaultOptions(kind)
+				opts.Seed = seed
+				f := core.NewFuzzer(opts)
+				cells := map[gen.TriggerType]Table3Cell{}
+				for _, t := range gen.AllTriggerTypes() {
+					st := f.MeasureTraining(t, variant, samples)
+					cells[t] = Table3Cell{
+						Triggerable: st.Triggerable(),
+						TO:          st.AvgTO,
+						ETO:         st.AvgETO,
+						HasETO:      variant == gen.VariantDerived,
+					}
 				}
-			}
-			res.Rows[variant.String()] = cells
-			res.Order = append(res.Order, variant.String())
+				return cells
+			}})
 		}
-
 		if kind == uarch.KindBOOM {
-			sd := specdoctor.New(specdoctor.Options{Core: kind, Seed: seed})
-			cells := map[gen.TriggerType]Table3Cell{}
-			camp := sd.Campaign(samples*4, core.DefaultSecret)
-			for _, t := range gen.AllTriggerTypes() {
-				if to, ok := camp.TriggerTO[t]; ok {
-					cells[t] = Table3Cell{Triggerable: true, TO: to}
-				} else {
-					cells[t] = Table3Cell{}
+			out[ci].Order = append(out[ci].Order, "SpecDoctor")
+			jobs = append(jobs, rowJob{core: ci, name: "SpecDoctor", run: func() map[gen.TriggerType]Table3Cell {
+				sd := specdoctor.New(specdoctor.Options{Core: kind, Seed: seed})
+				cells := map[gen.TriggerType]Table3Cell{}
+				camp := sd.Campaign(samples*4, core.DefaultSecret)
+				for _, t := range gen.AllTriggerTypes() {
+					if to, ok := camp.TriggerTO[t]; ok {
+						cells[t] = Table3Cell{Triggerable: true, TO: to}
+					} else {
+						cells[t] = Table3Cell{}
+					}
 				}
-			}
-			res.Rows["SpecDoctor"] = cells
-			res.Order = append(res.Order, "SpecDoctor")
+				return cells
+			}})
 		}
-		out = append(out, res)
+	}
+
+	// Each job fills its own slot; row maps are installed sequentially
+	// afterwards, so only the progress writer needs synchronisation.
+	progress := campaign.NewProgressLog(cfg.Progress)
+	cells := make([]map[gen.TriggerType]Table3Cell, len(jobs))
+	var pool []func()
+	for ji, j := range jobs {
+		pool = append(pool, func() {
+			progress.Logf("[table3/%v/%s] start: %d samples per window type", cores[j.core], j.name, samples)
+			cells[ji] = j.run()
+			progress.Logf("[table3/%v/%s] done", cores[j.core], j.name)
+		})
+	}
+	campaign.RunJobs(cfg.Workers, pool)
+	for ji, j := range jobs {
+		out[j.core].Rows[j.name] = cells[ji]
 	}
 
 	fmt.Fprintln(w, "Table 3: Training overhead for different types of transient windows")

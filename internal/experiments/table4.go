@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"dejavuzz/internal/campaign"
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/ift"
 	"dejavuzz/internal/rtl"
@@ -29,9 +30,14 @@ type Table4Result struct {
 // instance) and diffIFT (word-level shadow co-simulation, two instances).
 // compileBudget bounds the CellIFT flattening+instrumentation time; the
 // XiangShan-scale model is expected to blow past it (the paper's 8h timeout).
-func Table4(w io.Writer, compileBudget time.Duration, simCycles int) []Table4Result {
+// Measurements are wall-clock, so the cells always run sequentially; ropts
+// only adds progress streaming here.
+func Table4(w io.Writer, compileBudget time.Duration, simCycles int, ropts ...Option) []Table4Result {
+	cfg2 := runConfig(ropts)
+	progress := campaign.NewProgressLog(cfg2.Progress).Logf
 	var out []Table4Result
 	for _, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
+		progress("[table4/%v] compiling", kind)
 		cfg := uarch.ConfigFor(kind)
 		res := Table4Result{Core: kind, SimTimes: map[string][3]time.Duration{}}
 
@@ -76,6 +82,7 @@ func Table4(w io.Writer, compileBudget time.Duration, simCycles int) []Table4Res
 		// the work VCS performs on the instrumented netlist.
 		flatModel := rtl.FlattenMemories(model)
 		for _, poc := range AllPoCs() {
+			progress("[table4/%v] simulating %s", kind, poc.Name)
 			var times [3]time.Duration
 			opts := core.RunOpts{Cfg: cfg, MaxCycles: simCycles}
 

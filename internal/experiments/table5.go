@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"dejavuzz/internal/campaign"
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/uarch"
@@ -46,14 +47,30 @@ type Table5Result struct {
 // Table5 runs full DejaVuzz campaigns on both (bug-enabled) cores and
 // classifies the discovered leaks by attack type, transient-window class and
 // encoded/contended timing component — the paper's Table 5 matrix — along
-// with mechanism witnesses for the five published bugs.
-func Table5(w io.Writer, iterations int, seed int64) []Table5Result {
+// with mechanism witnesses for the five published bugs. The two per-core
+// campaigns run as a campaign matrix over the shared pool configured by
+// opts. The error is non-nil only for checkpoint I/O failures.
+func Table5(w io.Writer, iterations int, seed int64, opts ...Option) ([]Table5Result, error) {
+	cfg := runConfig(opts)
+	base := core.DefaultOptions(uarch.KindBOOM)
+	base.Seed = seed
+	base.Iterations = iterations
+	m := campaign.Matrix{
+		Prefix: fmt.Sprintf("table5/i%d", iterations),
+		Base:   base,
+		Cores:  []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan},
+	}
+	runner := campaign.Runner{Workers: cfg.Workers, Checkpoint: cfg.Checkpoint, Progress: cfg.Progress}
+	results, runErr := runner.RunMatrix(m)
+	if results == nil {
+		return nil, runErr
+	}
+	// A non-nil runErr past this point is a checkpoint-save failure; the
+	// campaigns completed, so render the table and surface the error too.
+
 	var out []Table5Result
-	for _, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
-		opts := core.DefaultOptions(kind)
-		opts.Seed = seed
-		opts.Iterations = iterations
-		rep := core.NewFuzzer(opts).Run()
+	for i, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
+		rep := results[i].Report
 
 		res := Table5Result{Core: kind, Rows: map[string]*Table5Row{}, FirstBug: rep.FirstBug}
 		for _, f := range rep.Findings {
@@ -92,7 +109,7 @@ func Table5(w io.Writer, iterations int, seed int64) []Table5Result {
 				a, keys(row.Windows), keys(row.Components), keys(row.Bugs), row.Count)
 		}
 	}
-	return out
+	return out, runErr
 }
 
 func keys(m map[string]bool) []string {

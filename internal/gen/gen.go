@@ -128,6 +128,27 @@ func New(seed int64) *Generator {
 	return &Generator{rng: rand.New(rand.NewSource(seed))}
 }
 
+// splitMix64 is the SplitMix64 finaliser, used to derive statistically
+// independent per-shard streams from one campaign seed.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardSeed derives the RNG seed for one shard of a campaign: shards of the
+// same campaign get decorrelated streams, and the mapping depends only on
+// (campaign seed, shard id) — never on worker count or scheduling.
+func ShardSeed(campaignSeed int64, shard int) int64 {
+	return int64(splitMix64(uint64(campaignSeed)*0x9e3779b97f4a7c15 + uint64(shard) + 1))
+}
+
+// NewShard returns the deterministic per-shard generator for a campaign.
+func NewShard(campaignSeed int64, shard int) *Generator {
+	return New(ShardSeed(campaignSeed, shard))
+}
+
 // RandomSeed draws a fresh seed for a core.
 func (g *Generator) RandomSeed(core uarch.CoreKind) Seed {
 	return Seed{

@@ -345,6 +345,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpAddi, Rd: rd, Rs1: rs}), nil
 	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rd, _ := reg(args[0])
 		rs, err := reg(args[1])
 		if err != nil {
@@ -352,6 +355,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpXori, Rd: rd, Rs1: rs, Imm: -1}), nil
 	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rd, _ := reg(args[0])
 		rs, err := reg(args[1])
 		if err != nil {
@@ -359,6 +365,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpSub, Rd: rd, Rs1: 0, Rs2: rs}), nil
 	case "seqz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rd, _ := reg(args[0])
 		rs, err := reg(args[1])
 		if err != nil {
@@ -366,6 +375,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpSltiu, Rd: rd, Rs1: rs, Imm: 1}), nil
 	case "snez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rd, _ := reg(args[0])
 		rs, err := reg(args[1])
 		if err != nil {
@@ -414,6 +426,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpJal, Rd: 0, Imm: off}), nil
 	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
 		rs, err := reg(args[0])
 		if err != nil {
 			return nil, err
@@ -437,6 +452,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 			{Op: OpJalr, Rd: RegRA, Rs1: RegT2, Imm: lo},
 		}, nil
 	case "beqz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rs, err := reg(args[0])
 		if err != nil {
 			return nil, err
@@ -447,6 +465,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpBeq, Rs1: rs, Rs2: 0, Imm: off}), nil
 	case "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rs, err := reg(args[0])
 		if err != nil {
 			return nil, err
@@ -457,6 +478,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		}
 		return one(Inst{Op: OpBne, Rs1: rs, Rs2: 0, Imm: off}), nil
 	case "fmv.d":
+		if err := need(2); err != nil {
+			return nil, err
+		}
 		rd, err := freg(args[0])
 		if err != nil {
 			return nil, err
@@ -509,6 +533,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		return []Inst{{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}}, nil
 	case ClassJump:
 		// jal [rd,] target
+		if len(args) != 1 && len(args) != 2 {
+			return nil, fmt.Errorf("%s needs 1 or 2 operands, got %d", mnem, len(args))
+		}
 		rd := RegRA
 		targetArg := args[0]
 		if len(args) == 2 {
@@ -622,6 +649,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 	case ClassFPU, ClassFDiv:
 		switch op {
 		case OpFmvXD:
+			if err := need(2); err != nil {
+				return nil, err
+			}
 			rd, err := reg(args[0])
 			if err != nil {
 				return nil, err
@@ -632,6 +662,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 			}
 			return []Inst{{Op: op, Rd: rd, Rs1: rs}}, nil
 		case OpFmvDX:
+			if err := need(2); err != nil {
+				return nil, err
+			}
 			rd, err := freg(args[0])
 			if err != nil {
 				return nil, err
