@@ -1,33 +1,42 @@
-// Command dejavuzz runs a DejaVuzz fuzzing campaign against one of the
-// modelled out-of-order cores and reports discovered transient-execution
-// leaks.
+// Command dejavuzz runs a DejaVuzz fuzzing campaign against a registered
+// target and reports discovered transient-execution leaks.
 //
 // Usage:
 //
-//	dejavuzz [-core boom|xiangshan] [-n iterations] [-seed N] [-workers N]
-//	         [-shards N] [-variant derived|random] [-no-feedback]
-//	         [-no-liveness] [-no-reduction] [-bugless] [-v]
+//	dejavuzz [-target boom|xiangshan|isasim] [-n iterations] [-seed N]
+//	         [-workers N] [-shards N] [-variant derived|random]
+//	         [-no-feedback] [-no-liveness] [-no-reduction] [-bugless]
+//	         [-checkpoint state.json] [-progress] [-v]
 //
 // Campaigns are deterministic: the same -seed/-n/-shards produce identical
-// findings and coverage for any -workers value.
+// findings and coverage for any -workers value. Single campaigns run as a
+// streaming session: -progress streams per-barrier events, -checkpoint
+// autosaves a resumable checkpoint at every merge barrier, and Ctrl-C stops
+// at the next barrier — re-running the same command resumes from the saved
+// checkpoint. -list-targets prints the target registry.
 //
 // Matrix mode runs a grid of campaigns (cores × variants × ablations ×
-// seeds) over a shared worker pool with optional checkpoint/resume:
+// seeds) over a shared worker pool with optional whole-campaign
+// checkpoint/resume:
 //
 //	dejavuzz -matrix "cores=boom,xiangshan;variants=derived,random;ablations=base,no-feedback;seeds=1,2,3" \
 //	         [-n iterations] [-workers N] [-checkpoint state.json] [-progress]
 //
-// The single-campaign flags remain meaningful in matrix mode: -seed, -core,
-// -variant, -shards and the -no-*/-bugless ablation flags supply the base
-// options, which matrix dimensions override per axis when present.
+// The single-campaign flags remain meaningful in matrix mode: -seed,
+// -target, -variant, -shards and the -no-*/-bugless ablation flags supply
+// the base options, which matrix dimensions override per axis when present.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dejavuzz"
 	"dejavuzz/internal/campaign"
@@ -36,7 +45,8 @@ import (
 )
 
 func main() {
-	coreName := flag.String("core", "boom", "design under test: boom or xiangshan")
+	target := flag.String("target", "", "design under test (see -list-targets; default boom)")
+	coreName := flag.String("core", "", "deprecated alias of -target (boom or xiangshan)")
 	n := flag.Int("n", 200, "fuzzing iterations")
 	seed := flag.Int64("seed", 1, "campaign RNG seed")
 	workers := flag.Int("workers", 1, "parallel simulation workers (wall-time only; never changes results)")
@@ -49,11 +59,20 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-iteration statistics")
 	repro := flag.String("repro", "", "replay a serialised finding seed (JSON) instead of fuzzing")
 	matrix := flag.String("matrix", "", "campaign grid spec: cores=..;variants=..;ablations=..;seeds=..")
-	checkpoint := flag.String("checkpoint", "", "matrix mode: JSON checkpoint file for resume")
-	progress := flag.Bool("progress", false, "matrix mode: stream per-campaign progress to stderr")
+	checkpoint := flag.String("checkpoint", "", "resumable checkpoint file (per-barrier in single mode, per-campaign in matrix mode)")
+	progress := flag.Bool("progress", false, "stream per-barrier progress to stderr")
+	listTargets := flag.Bool("list-targets", false, "list registered targets and exit")
 	flag.Parse()
 
-	kind, err := parseCore(*coreName)
+	if *listTargets {
+		for _, name := range dejavuzz.Targets() {
+			t, _ := dejavuzz.LookupTarget(name)
+			fmt.Printf("%-12s %s\n", name, t.Description())
+		}
+		return
+	}
+
+	targetName, err := resolveTarget(*target, *coreName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -64,8 +83,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the session/matrix at the next merge barrier, where a
+	// resumable checkpoint is saved.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *matrix != "" {
-		base := core.DefaultOptions(kind)
+		tgt, err := dejavuzz.LookupTarget(targetName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		base := core.DefaultOptionsFor(tgt)
 		base.Seed = *seed
 		base.Iterations = *n
 		base.Variant = trainVariant
@@ -76,32 +105,162 @@ func main() {
 		base.UseLiveness = !*noLiveness
 		base.UseReduction = !*noReduction
 		base.Bugless = *bugless
-		runMatrix(*matrix, base, *workers, *checkpoint, *progress)
+		runMatrix(ctx, *matrix, base, *workers, *checkpoint, *progress)
 		return
 	}
 
-	cfg := dejavuzz.Config{
-		Core:                    kind,
-		Seed:                    *seed,
-		Iterations:              *n,
-		Workers:                 *workers,
-		Shards:                  *shards,
-		Variant:                 trainVariant,
-		DisableCoverageFeedback: *noFeedback,
-		DisableLiveness:         *noLiveness,
-		DisableReduction:        *noReduction,
-		Bugless:                 *bugless,
+	if *repro != "" {
+		runRepro(targetName, *target != "" || *coreName != "", *repro, *bugless)
+		return
 	}
 
-	if *repro != "" {
-		seed, err := core.DecodeSeed(*repro)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	opts := []dejavuzz.Option{
+		dejavuzz.WithSeed(*seed),
+		dejavuzz.WithIterations(*n),
+		dejavuzz.WithWorkers(*workers),
+		dejavuzz.WithVariant(trainVariant),
+		dejavuzz.WithCoverageFeedback(!*noFeedback),
+		dejavuzz.WithLiveness(!*noLiveness),
+		dejavuzz.WithReduction(!*noReduction),
+		dejavuzz.WithInjectedBugs(!*bugless),
+	}
+	if *shards > 0 {
+		opts = append(opts, dejavuzz.WithShards(*shards))
+	}
+	if *checkpoint != "" {
+		opts = append(opts, dejavuzz.WithCheckpointFile(*checkpoint))
+	}
+
+	c, err := dejavuzz.New(targetName, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var session *dejavuzz.Session
+	if ck := loadResume(*checkpoint); ck != nil {
+		done, total := ck.Progress()
+		fmt.Fprintf(os.Stderr, "resuming %s from %s (%d/%d iterations)\n",
+			ck.Target(), *checkpoint, done, total)
+		session, err = c.Resume(ctx, ck)
+	} else {
+		session, err = c.Start(ctx)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := drainSession(session, *progress)
+	if rep == nil {
+		// Interrupted at a barrier; the checkpoint (if -checkpoint was
+		// given) is already saved.
+		ck := session.Checkpoint()
+		done, total := ck.Progress()
+		where := "progress was not saved (use -checkpoint FILE to make runs resumable)"
+		if *checkpoint != "" {
+			where = fmt.Sprintf("re-run the same command to resume from %s", *checkpoint)
 		}
-		opts := core.DefaultOptions(seed.Core)
-		opts.Bugless = *bugless
-		rr, err := core.NewFuzzer(opts).Reproduce(seed)
+		fmt.Fprintf(os.Stderr, "interrupted at %d/%d iterations; %s\n", done, total, where)
+		os.Exit(130)
+	}
+
+	if *verbose {
+		for _, it := range rep.Iters {
+			fmt.Printf("iter=%-4d trigger=%-28v triggered=%-5v gain=%-5v newpts=%-3d cov=%-4d finding=%v\n",
+				it.Iteration, it.Trigger, it.Triggered, it.TaintGain, it.NewPoints, it.Coverage, it.Finding)
+		}
+	}
+	fmt.Printf("target=%s iterations=%d sims=%d duration=%v\n",
+		targetName, len(rep.Iters), rep.Sims, rep.Duration.Round(1e6))
+	fmt.Printf("taint coverage points: %d\n", rep.Coverage)
+	fmt.Printf("findings: %d (liveness-suppressed false positives: %d)\n",
+		len(rep.Findings), rep.DeadSinks)
+	for i, fi := range rep.Findings {
+		// Seeds encode only the core personality, not the target; point
+		// non-uarch replays at the right pipeline explicitly.
+		hint := ""
+		if targetName != core.BuiltinTargetName(fi.Seed.Core) {
+			hint = fmt.Sprintf(" (replay with -target %s)", targetName)
+		}
+		fmt.Printf("  [%d] %v\n      repro-seed: %s%s\n", i+1, &fi, core.EncodeSeed(fi.Seed), hint)
+	}
+	if len(rep.Findings) > 0 {
+		fmt.Printf("first finding after ~%v\n", rep.FirstBug.Round(1e6))
+	}
+}
+
+// drainSession consumes the event stream (printing progress when asked) and
+// returns the final report, or nil when the session was interrupted.
+func drainSession(s *dejavuzz.Session, progress bool) *dejavuzz.Report {
+	for ev := range s.Events() {
+		switch ev.Kind {
+		case dejavuzz.EventEpoch:
+			if progress {
+				fmt.Fprintf(os.Stderr, "%d/%d iterations, coverage=%d\n", ev.Done, ev.Total, ev.Coverage)
+			}
+		case dejavuzz.EventFinding:
+			if progress {
+				fmt.Fprintf(os.Stderr, "finding at iteration %d: %v\n", ev.Finding.Iteration, ev.Finding)
+			}
+		case dejavuzz.EventCheckpointSaved:
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint save failed: %v\n", ev.Err)
+			} else if progress {
+				fmt.Fprintf(os.Stderr, "checkpoint saved to %s (%d/%d)\n", ev.Path, ev.Done, ev.Total)
+			}
+		}
+	}
+	rep, err := s.Wait()
+	if errors.Is(err, dejavuzz.ErrInterrupted) {
+		return nil
+	}
+	return rep
+}
+
+// loadResume loads a session checkpoint if the file exists; a missing file
+// (or empty path) starts fresh and any other failure is fatal.
+func loadResume(path string) *dejavuzz.Checkpoint {
+	if path == "" {
+		return nil
+	}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil
+	}
+	ck, err := dejavuzz.LoadCheckpoint(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return ck
+}
+
+// runRepro replays a serialised finding seed. Without an explicit -target
+// the seed's core kind selects the matching uarch pipeline (the historical
+// behaviour); with one, the replay runs on that target — which matters for
+// findings from non-uarch targets like isasim, whose seeds also carry a
+// core kind but must not be replayed on the uarch pipeline.
+func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) {
+	seed, err := core.DecodeSeed(reproJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !explicit {
+		targetName = core.BuiltinTargetName(seed.Core)
+	}
+	tgt, err := core.LookupTarget(targetName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := core.DefaultOptionsFor(tgt)
+	opts.Bugless = bugless
+	f := core.NewFuzzer(opts)
+
+	if targetName == core.BuiltinTargetName(tgt.Kind()) {
+		// uarch pipeline: the full three-phase replay with training stats.
+		rr, err := f.Reproduce(seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -115,37 +274,39 @@ func main() {
 		}
 		return
 	}
-
-	f := dejavuzz.New(cfg)
-	rep := f.Run()
-
-	if *verbose {
-		for _, it := range rep.Iters {
-			fmt.Printf("iter=%-4d trigger=%-28v triggered=%-5v gain=%-5v newpts=%-3d cov=%-4d finding=%v\n",
-				it.Iteration, it.Trigger, it.Triggered, it.TaintGain, it.NewPoints, it.Coverage, it.Finding)
-		}
-	}
-	fmt.Printf("core=%v iterations=%d sims=%d duration=%v\n",
-		cfg.Core, *n, rep.Sims, rep.Duration.Round(1e6))
-	fmt.Printf("taint coverage points: %d\n", rep.Coverage)
-	fmt.Printf("findings: %d (liveness-suppressed false positives: %d)\n",
-		len(rep.Findings), rep.DeadSinks)
-	for i, fi := range rep.Findings {
-		fmt.Printf("  [%d] %v\n      repro-seed: %s\n", i+1, &fi, core.EncodeSeed(fi.Seed))
-	}
-	if len(rep.Findings) > 0 {
-		fmt.Printf("first finding after ~%v\n", rep.FirstBug.Round(1e6))
+	// Any other target: replay one iteration through its pipeline.
+	out := tgt.NewPipeline(f).RunIteration(0, seed, core.NewCoverage())
+	fmt.Printf("reproduce[%s]: triggered=%v taint-gain=%v new-points=%d sims=%d\n",
+		targetName, out.Triggered, out.TaintGain, out.NewPoints, out.Sims)
+	if out.Finding != nil {
+		fmt.Printf("finding: %v\n", out.Finding)
+	} else {
+		fmt.Println("finding: none")
 	}
 }
 
-func parseCore(name string) (dejavuzz.CoreKind, error) {
-	switch strings.ToLower(name) {
-	case "boom":
-		return dejavuzz.BOOM, nil
-	case "xiangshan", "xs":
-		return dejavuzz.XiangShan, nil
+// resolveTarget folds the deprecated -core spelling into the -target
+// namespace.
+func resolveTarget(target, coreName string) (string, error) {
+	if target != "" && coreName != "" {
+		return "", fmt.Errorf("use either -target or the deprecated -core, not both")
 	}
-	return 0, fmt.Errorf("unknown core %q", name)
+	if coreName != "" {
+		switch strings.ToLower(coreName) {
+		case "boom":
+			return "boom", nil
+		case "xiangshan", "xs":
+			return "xiangshan", nil
+		}
+		return "", fmt.Errorf("unknown core %q", coreName)
+	}
+	if target == "" {
+		return dejavuzz.DefaultTarget, nil
+	}
+	if _, err := dejavuzz.LookupTarget(target); err != nil {
+		return "", err
+	}
+	return target, nil
 }
 
 func parseVariant(name string) (gen.Variant, error) {
@@ -179,11 +340,15 @@ func parseMatrix(spec string, base core.Options) (campaign.Matrix, error) {
 			}
 			switch strings.TrimSpace(key) {
 			case "cores":
-				kind, err := parseCore(v)
+				name, err := resolveTarget("", v)
 				if err != nil {
 					return m, fmt.Errorf("matrix: %w", err)
 				}
-				m.Cores = append(m.Cores, kind)
+				tgt, err := dejavuzz.LookupTarget(name)
+				if err != nil {
+					return m, fmt.Errorf("matrix: %w", err)
+				}
+				m.Cores = append(m.Cores, tgt.Kind())
 			case "variants":
 				tv, err := parseVariant(v)
 				if err != nil {
@@ -210,7 +375,7 @@ func parseMatrix(spec string, base core.Options) (campaign.Matrix, error) {
 	return m, nil
 }
 
-func runMatrix(spec string, base core.Options, workers int, checkpoint string, progress bool) {
+func runMatrix(ctx context.Context, spec string, base core.Options, workers int, checkpoint string, progress bool) {
 	m, err := parseMatrix(spec, base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -220,19 +385,23 @@ func runMatrix(spec string, base core.Options, workers int, checkpoint string, p
 	if progress {
 		runner.Progress = os.Stderr
 	}
-	results, err := runner.RunMatrix(m)
+	results, err := runner.RunMatrixContext(ctx, m)
 	if results == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("%-40s %-10s %-10s %-10s %-10s\n", "campaign", "findings", "coverage", "sims", "cached")
 	for _, res := range results {
+		if res.Report == nil {
+			continue // interrupted before this campaign finished
+		}
 		rep := res.Report
 		fmt.Printf("%-40s %-10d %-10d %-10d %-10v\n",
 			res.Name, len(rep.Findings), rep.Coverage, rep.Sims, res.Cached)
 	}
 	if err != nil {
-		// Checkpoint-save failure: the campaigns above still completed.
+		// Interrupted, or checkpoint-save failure: completed campaigns above
+		// are still valid (and saved, when -checkpoint was given).
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

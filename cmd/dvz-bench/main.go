@@ -1,0 +1,113 @@
+// Command dvz-bench measures campaign-engine throughput and coverage
+// growth, and writes the results as a JSON artifact so CI can track the
+// performance trajectory across PRs.
+//
+// Usage:
+//
+//	dvz-bench [-out BENCH_campaign.json] [-n iterations] [-seed N] [-target boom]
+//
+// The benchmark runs one fixed campaign at Workers=1 and Workers=8
+// (identical results by the engine's determinism guarantee — the comparison
+// is pure scheduling/scaling) and records iterations per second for each,
+// plus the coverage-matrix size at fixed iteration counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dejavuzz"
+)
+
+// Result is the BENCH_campaign.json schema.
+type Result struct {
+	Target     string  `json:"target"`
+	Seed       int64   `json:"seed"`
+	Iterations int     `json:"iterations"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	UnixTime   int64   `json:"unix_time"`
+	Workers1   float64 `json:"workers1_iters_per_sec"`
+	Workers8   float64 `json:"workers8_iters_per_sec"`
+	Speedup    float64 `json:"workers8_speedup"`
+	// CoverageAt maps iteration counts (as decimal strings, JSON keys) to
+	// the cumulative coverage there — fixed probe points the trajectory of
+	// which is comparable across PRs for the same seed.
+	CoverageAt map[string]int `json:"coverage_at"`
+	Findings   int            `json:"findings"`
+}
+
+func run(target string, seed int64, n, workers int) (*dejavuzz.Report, float64, error) {
+	c, err := dejavuzz.New(target,
+		dejavuzz.WithSeed(seed),
+		dejavuzz.WithIterations(n),
+		dejavuzz.WithWorkers(workers),
+		dejavuzz.WithMergeEvery(16),
+	)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	rep := c.Run()
+	return rep, float64(n) / time.Since(start).Seconds(), nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_campaign.json", "output JSON path")
+	n := flag.Int("n", 128, "campaign iterations")
+	seed := flag.Int64("seed", 42, "campaign seed")
+	target := flag.String("target", dejavuzz.DefaultTarget, "registered target to benchmark")
+	flag.Parse()
+
+	rep1, ips1, err := run(*target, *seed, *n, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep8, ips8, err := run(*target, *seed, *n, 8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rep1.Coverage != rep8.Coverage || len(rep1.Findings) != len(rep8.Findings) {
+		fmt.Fprintf(os.Stderr, "determinism violation: workers=1 (%d cov, %d findings) vs workers=8 (%d cov, %d findings)\n",
+			rep1.Coverage, len(rep1.Findings), rep8.Coverage, len(rep8.Findings))
+		os.Exit(1)
+	}
+
+	res := Result{
+		Target:     *target,
+		Seed:       *seed,
+		Iterations: *n,
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		UnixTime:   time.Now().Unix(),
+		Workers1:   ips1,
+		Workers8:   ips8,
+		Speedup:    ips8 / ips1,
+		CoverageAt: map[string]int{},
+		Findings:   len(rep1.Findings),
+	}
+	hist := rep1.CoverageHistory()
+	for _, probe := range []int{16, 32, 64, 128} {
+		if probe <= len(hist) {
+			res.CoverageAt[fmt.Sprint(probe)] = hist[probe-1]
+		}
+	}
+
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), coverage=%d\n",
+		*out, ips1, ips8, res.Speedup, rep1.Coverage)
+}

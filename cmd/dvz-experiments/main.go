@@ -22,9 +22,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dejavuzz/internal/experiments"
@@ -49,7 +52,12 @@ func main() {
 	progress := fs.Bool("progress", false, "stream per-campaign progress to stderr")
 	fs.Parse(os.Args[2:])
 
-	var ropts []experiments.Option
+	// Ctrl-C stops campaign-backed experiments at their next merge barrier;
+	// finished campaigns stay in the checkpoint, so re-running resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ropts := []experiments.Option{experiments.WithContext(ctx)}
 	if *workers > 1 {
 		ropts = append(ropts, experiments.WithWorkers(*workers))
 	}

@@ -1,0 +1,95 @@
+package dejavuzz
+
+import "dejavuzz/internal/core"
+
+// Config is the original struct-based campaign configuration.
+//
+// Deprecated: use New with a target name and functional options, which has
+// no zero-value ambiguity (WithSeed(0) is seed zero, WithIterations(0) is
+// an empty dry run). Config remains as a compatibility shim: zero values
+// select the historical defaults (BOOM core, seed 1, 100 iterations, all
+// analyses enabled), and the SeedSet/IterationsSet markers make the
+// otherwise-unselectable explicit zeros reachable.
+//
+// Note that New itself changed signature in this redesign — it now takes a
+// target name and options. Callers of the old New(Config) form get a
+// compile-time error and migrate mechanically to NewFromConfig(Config)
+// (identical behaviour) or, preferably, to New with options (see the
+// README's migration table).
+type Config struct {
+	// Core is the design under test (BOOM or XiangShan).
+	Core CoreKind
+	// Seed is the campaign's RNG seed. A zero Seed historically meant
+	// "unset" (default seed 1); set SeedSet to run with seed 0.
+	Seed int64
+	// SeedSet marks Seed as explicit, making seed 0 selectable.
+	SeedSet bool
+	// Iterations is the number of fuzzing iterations to run. A
+	// non-positive value historically meant "unset" (default 100); set
+	// IterationsSet to run an explicit 0-iteration dry run.
+	Iterations int
+	// IterationsSet marks Iterations as explicit, making a 0-iteration
+	// dry run selectable.
+	IterationsSet bool
+	// Workers sets the number of parallel simulation workers. Reports are
+	// identical for any Workers value: parallelism only changes wall time.
+	Workers int
+	// Shards sets the number of deterministic logical shards (default 8).
+	// Unlike Workers, changing Shards changes the campaign's stimulus
+	// streams and therefore its results.
+	Shards int
+	// Variant selects Derived (DejaVuzz) or RandomTraining (DejaVuzz*).
+	Variant Variant
+	// DisableCoverageFeedback yields the DejaVuzz− ablation.
+	DisableCoverageFeedback bool
+	// DisableLiveness disables tainted-sink liveness filtering.
+	DisableLiveness bool
+	// DisableReduction disables training reduction.
+	DisableReduction bool
+	// Bugless disables the injected bugs (regression baseline).
+	Bugless bool
+}
+
+// toOptions lowers the shim onto the engine options, distinguishing unset
+// from explicit zero via the Set markers.
+func (cfg Config) toOptions() core.Options {
+	opts := core.DefaultOptions(cfg.Core)
+	if cfg.Seed != 0 || cfg.SeedSet {
+		opts.Seed = cfg.Seed
+	}
+	if cfg.Iterations > 0 || cfg.IterationsSet {
+		opts.Iterations = cfg.Iterations
+	}
+	if cfg.Workers > 0 {
+		opts.Workers = cfg.Workers
+	}
+	if cfg.Shards > 0 {
+		opts.Shards = cfg.Shards
+	}
+	opts.Variant = cfg.Variant
+	opts.UseCoverageFeedback = !cfg.DisableCoverageFeedback
+	opts.UseLiveness = !cfg.DisableLiveness
+	opts.UseReduction = !cfg.DisableReduction
+	opts.Bugless = cfg.Bugless
+	return opts
+}
+
+// Fuzzer is the blocking campaign handle the original API returned.
+//
+// Deprecated: it is now an alias of Campaign; new code should use New and
+// either Campaign.Run or the streaming Campaign.Start.
+type Fuzzer = Campaign
+
+// NewFromConfig constructs a blocking fuzzer from the deprecated Config.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) *Fuzzer {
+	opts := cfg.toOptions()
+	t, err := core.LookupTarget(opts.Target)
+	if err != nil {
+		// Unreachable: Config can only name the built-in core kinds, whose
+		// targets are always registered.
+		panic(err)
+	}
+	return &Campaign{target: t, opts: opts}
+}

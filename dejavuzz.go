@@ -11,27 +11,40 @@
 //     taints on cross-instance differences to defeat control-flow
 //     over-tainting.
 //
-// The fuzzer runs against cycle-accurate models of two out-of-order RISC-V
-// cores (a SmallBOOM-like and a XiangShan-MinimalConfig-like configuration)
-// that implement real speculative execution, caches, TLBs, branch
-// prediction, and the five published vulnerabilities (B1-B5).
+// # Campaigns, sessions and targets
 //
-// Quick start:
+// A campaign is constructed with New from a registered target name and
+// functional options:
 //
-//	f := dejavuzz.New(dejavuzz.Config{Core: dejavuzz.BOOM, Iterations: 100})
-//	report := f.Run()
-//	for _, leak := range report.Findings {
-//		fmt.Println(leak)
-//	}
+//	c, err := dejavuzz.New("boom",
+//		dejavuzz.WithSeed(1),
+//		dejavuzz.WithIterations(500),
+//	)
+//
+// Run executes it to completion and returns the Report. For long-running
+// campaigns, Start returns a streaming Session instead: an event channel
+// carrying Finding, Epoch, CheckpointSaved and Done events, all emitted at
+// the engine's deterministic merge barriers. Cancelling the session's
+// context (or calling Pause) stops the campaign at the next barrier and
+// yields a resumable Checkpoint; a campaign resumed from it finishes with
+// results identical to an uninterrupted run.
+//
+// Targets are pluggable designs under test. Three are built in — the two
+// cycle-accurate out-of-order cores the paper evaluates ("boom",
+// "xiangshan") and a cheap architectural differential pair ("isasim") —
+// and more can be added with RegisterTarget.
 package dejavuzz
 
 import (
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/uarch"
+
+	// Register the "isasim" architectural differential target.
+	_ "dejavuzz/internal/isadiff"
 )
 
-// CoreKind selects the design under test.
+// CoreKind selects a built-in core model.
 type CoreKind = uarch.CoreKind
 
 // The two evaluated cores.
@@ -59,66 +72,20 @@ type Report = core.Report
 // TriggerType enumerates the transient-window trigger classes.
 type TriggerType = gen.TriggerType
 
-// Config configures a fuzzing campaign. Zero values select sensible
-// defaults (BOOM core, derived training, all analyses enabled).
-type Config struct {
-	// Core is the design under test (BOOM or XiangShan).
-	Core CoreKind
-	// Seed is the campaign's RNG seed.
-	Seed int64
-	// Iterations is the number of fuzzing iterations to run.
-	Iterations int
-	// Workers sets the number of parallel simulation workers. Reports are
-	// identical for any Workers value: parallelism only changes wall time.
-	Workers int
-	// Shards sets the number of deterministic logical shards (default 8).
-	// Unlike Workers, changing Shards changes the campaign's stimulus
-	// streams and therefore its results.
-	Shards int
-	// Variant selects Derived (DejaVuzz) or RandomTraining (DejaVuzz*).
-	Variant Variant
-	// DisableCoverageFeedback yields the DejaVuzz− ablation.
-	DisableCoverageFeedback bool
-	// DisableLiveness disables tainted-sink liveness filtering.
-	DisableLiveness bool
-	// DisableReduction disables training reduction.
-	DisableReduction bool
-	// Bugless disables the injected bugs (regression baseline).
-	Bugless bool
-}
+// Target is a pluggable design under test: it supplies the stimulus
+// personality and the per-campaign iteration pipeline. See RegisterTarget.
+type Target = core.Target
 
-// Fuzzer is the DejaVuzz fuzzing pipeline.
-type Fuzzer struct {
-	inner *core.Fuzzer
-}
+// DefaultTarget is the target New uses when callers have no preference.
+const DefaultTarget = "boom"
 
-// New constructs a fuzzer from the configuration.
-func New(cfg Config) *Fuzzer {
-	opts := core.DefaultOptions(cfg.Core)
-	if cfg.Seed != 0 {
-		opts.Seed = cfg.Seed
-	}
-	if cfg.Iterations > 0 {
-		opts.Iterations = cfg.Iterations
-	}
-	if cfg.Workers > 0 {
-		opts.Workers = cfg.Workers
-	}
-	if cfg.Shards > 0 {
-		opts.Shards = cfg.Shards
-	}
-	opts.Variant = cfg.Variant
-	opts.UseCoverageFeedback = !cfg.DisableCoverageFeedback
-	opts.UseLiveness = !cfg.DisableLiveness
-	opts.UseReduction = !cfg.DisableReduction
-	opts.Bugless = cfg.Bugless
-	return &Fuzzer{inner: core.NewFuzzer(opts)}
-}
+// RegisterTarget adds a target to the registry. It panics on an empty name
+// or a duplicate registration.
+func RegisterTarget(t Target) { core.RegisterTarget(t) }
 
-// Run executes the campaign: every iteration walks the paper's three phases
-// (transient window triggering, transient execution exploration, transient
-// leakage analysis) and contributes to the shared taint-coverage matrix.
-func (f *Fuzzer) Run() *Report { return f.inner.Run() }
+// LookupTarget resolves a registered target by name.
+func LookupTarget(name string) (Target, error) { return core.LookupTarget(name) }
 
-// Coverage returns the current number of taint-coverage points.
-func (f *Fuzzer) Coverage() int { return f.inner.Coverage().Count() }
+// Targets returns the sorted names of all registered targets. Three are
+// built in: "boom", "xiangshan" and "isasim".
+func Targets() []string { return core.Targets() }

@@ -1,9 +1,399 @@
 package dejavuzz
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
 
-func TestFacadeDefaults(t *testing.T) {
-	f := New(Config{Core: BOOM, Iterations: 10, Seed: 5})
+	"dejavuzz/internal/campaign"
+	"dejavuzz/internal/core"
+)
+
+// midCampaignCheckpoint deterministically produces the checkpoint a session
+// of c yields when cancelled at the barrier after stopDone iterations: the
+// engine's cancellation lands at the merge barrier, so cancelling from
+// within the barrier hook pins the stop point exactly.
+func midCampaignCheckpoint(t *testing.T, c *Campaign, stopDone int) *Checkpoint {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := c.opts
+	opts.OnBarrier = func(b *core.Barrier) {
+		if b.Done == stopDone {
+			cancel()
+		}
+	}
+	rep, state := core.NewFuzzer(opts).RunContext(ctx)
+	if rep != nil || state == nil {
+		t.Fatalf("campaign did not stop at iteration %d", stopDone)
+	}
+	if state.NextIter != stopDone {
+		t.Fatalf("stopped at %d, want %d", state.NextIter, stopDone)
+	}
+	return &Checkpoint{state: state}
+}
+
+// reportFingerprint canonicalises a report for byte-identity comparison:
+// the wall-clock fields (Duration, FirstBug) are zeroed and everything else
+// is serialised.
+func reportFingerprint(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	r := *rep
+	r.Duration = 0
+	r.FirstBug = 0
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewUnknownTarget(t *testing.T) {
+	if _, err := New("not-a-target"); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+}
+
+func TestTargetsRegistry(t *testing.T) {
+	names := Targets()
+	if len(names) < 3 {
+		t.Fatalf("Targets() = %v, want at least boom, xiangshan, isasim", names)
+	}
+	for _, want := range []string{"boom", "xiangshan", "isasim"} {
+		tgt, err := LookupTarget(want)
+		if err != nil {
+			t.Fatalf("built-in target %q not registered: %v", want, err)
+		}
+		if tgt.Description() == "" {
+			t.Errorf("target %q has no description", want)
+		}
+	}
+}
+
+func TestCampaignRun(t *testing.T) {
+	c, err := New("boom", WithSeed(5), WithIterations(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run()
+	if len(rep.Iters) != 10 {
+		t.Fatalf("iterations = %d, want 10", len(rep.Iters))
+	}
+	if c.Coverage() != rep.Coverage {
+		t.Errorf("campaign coverage %d != report coverage %d", c.Coverage(), rep.Coverage)
+	}
+}
+
+func TestOptionsExplicitZeros(t *testing.T) {
+	// The functional-options API has no zero-value ambiguity: seed 0 and an
+	// empty dry run are directly expressible.
+	c, err := New("boom", WithSeed(0), WithIterations(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run()
+	if len(rep.Iters) != 0 {
+		t.Fatalf("dry run executed %d iterations", len(rep.Iters))
+	}
+	if rep.Options.Seed != 0 {
+		t.Fatalf("seed = %d, want explicit 0", rep.Options.Seed)
+	}
+}
+
+func TestSessionStreamsAndMatchesBlockingRun(t *testing.T) {
+	mk := func() *Campaign {
+		c, err := New("boom", WithSeed(9), WithIterations(32), WithMergeEvery(8), WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	blocking := mk().Run()
+
+	session, err := mk().Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, findings := 0, 0
+	var last Event
+	for ev := range session.Events() {
+		switch ev.Kind {
+		case EventEpoch:
+			epochs++
+		case EventFinding:
+			findings++
+			if ev.Finding == nil {
+				t.Fatal("finding event without finding")
+			}
+		}
+		last = ev
+	}
+	if epochs != 4 {
+		t.Errorf("saw %d epoch events, want 4", epochs)
+	}
+	if last.Kind != EventDone || last.Report == nil {
+		t.Fatalf("final event = %+v, want completed EventDone", last)
+	}
+	rep, err := session.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != len(rep.Findings) {
+		t.Errorf("streamed %d findings, report has %d", findings, len(rep.Findings))
+	}
+	if !bytes.Equal(reportFingerprint(t, blocking), reportFingerprint(t, rep)) {
+		t.Error("streaming session report differs from blocking Run")
+	}
+}
+
+// TestSessionCancelResumeDeterministic is the session-level cancellation
+// determinism test: a campaign cancelled at a barrier and resumed from its
+// checkpoint must produce a byte-identical report (modulo wall-clock
+// fields) to an uninterrupted blocking Run with the same options.
+func TestSessionCancelResumeDeterministic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.ckpt")
+	mk := func() *Campaign {
+		c, err := New("boom", WithSeed(42), WithIterations(48), WithMergeEvery(8), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	uninterrupted := mk().Run()
+
+	// Cancel deterministically at the barrier after 16 of 48 iterations and
+	// round-trip the checkpoint through its JSON file.
+	ck := midCampaignCheckpoint(t, mk(), 16)
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, total := loaded.Progress(); done != 16 || total != 48 {
+		t.Fatalf("checkpoint progress %d/%d, want 16/48", done, total)
+	}
+	if loaded.Target() != "boom" {
+		t.Fatalf("checkpoint target %q", loaded.Target())
+	}
+
+	resumed, err := mk().Resume(context.Background(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := 0
+	for ev := range resumed.Events() {
+		if ev.Kind == EventEpoch {
+			epochs++
+		}
+	}
+	if epochs != 4 { // (48-16)/8 remaining barriers
+		t.Errorf("resumed session emitted %d epoch events, want 4", epochs)
+	}
+	rep, err := resumed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportFingerprint(t, uninterrupted), reportFingerprint(t, rep)) {
+		t.Error("cancel+resume report differs from uninterrupted run")
+	}
+}
+
+// TestSessionPauseFlow exercises the cooperative Pause path. Pause lands at
+// the next merge barrier; if the campaign finishes first there is no
+// checkpoint and the report stands — both outcomes are legitimate, and the
+// test verifies whichever occurred is internally consistent.
+func TestSessionPauseFlow(t *testing.T) {
+	c, err := New("boom", WithSeed(42), WithIterations(96), WithMergeEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := c.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := range session.Events() {
+		if ev.Kind == EventEpoch {
+			break
+		}
+	}
+	ck, err := session.Pause()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, werr := session.Wait()
+	if ck == nil {
+		// Completed before the barrier: Wait must deliver the full report.
+		if werr != nil || rep == nil || len(rep.Iters) != 96 {
+			t.Fatalf("completed session inconsistent: rep=%v err=%v", rep, werr)
+		}
+		return
+	}
+	if !errors.Is(werr, ErrInterrupted) || rep != nil {
+		t.Fatalf("interrupted session inconsistent: rep=%v err=%v", rep, werr)
+	}
+	done, total := ck.Progress()
+	if done <= 0 || done >= total || done%8 != 0 {
+		t.Fatalf("checkpoint progress %d/%d not at a mid-campaign barrier", done, total)
+	}
+	if session.Checkpoint() != ck {
+		t.Error("session.Checkpoint() disagrees with Pause result")
+	}
+	// The paused session resumes to completion.
+	resumed, err := c.Resume(context.Background(), ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := resumed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Iters) != 96 {
+		t.Fatalf("resumed campaign ran %d iterations, want 96", len(full.Iters))
+	}
+}
+
+// TestSessionCheckpointAutosave pins WithCheckpointFile: every barrier
+// rewrites the checkpoint file and emits a CheckpointSaved event, and the
+// final file resumes into a campaign whose report matches an uninterrupted
+// run.
+func TestSessionCheckpointAutosave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "auto.ckpt")
+	c, err := New("isasim", WithSeed(2), WithIterations(24), WithMergeEvery(8),
+		WithCheckpointFile(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := c.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saves := 0
+	for ev := range session.Events() {
+		if ev.Kind == EventCheckpointSaved {
+			if ev.Err != nil {
+				t.Fatalf("autosave failed: %v", ev.Err)
+			}
+			if ev.Path != path {
+				t.Fatalf("autosave path %q, want %q", ev.Path, path)
+			}
+			saves++
+		}
+	}
+	if saves != 3 { // one per barrier
+		t.Errorf("saw %d CheckpointSaved events, want 3", saves)
+	}
+	rep, err := session.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last autosave is the final barrier; resuming it replays nothing
+	// and must reproduce the completed report exactly.
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := c.Resume(context.Background(), ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := resumed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportFingerprint(t, rep), reportFingerprint(t, rep2)) {
+		t.Error("final-barrier checkpoint resume differs from completed report")
+	}
+}
+
+// TestCheckpointFormatDiscrimination pins that the two '-checkpoint' file
+// formats (single-session engine state vs campaign-matrix results) reject
+// each other instead of silently misloading — both carry version 1.
+func TestCheckpointFormatDiscrimination(t *testing.T) {
+	dir := t.TempDir()
+
+	sessionPath := filepath.Join(dir, "session.json")
+	ck := midCampaignCheckpoint(t, func() *Campaign {
+		c, err := New("boom", WithSeed(1), WithIterations(16), WithMergeEvery(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}(), 8)
+	if err := ck.Save(sessionPath); err != nil {
+		t.Fatal(err)
+	}
+	m := campaign.Matrix{Base: core.DefaultOptions(BOOM)}
+	m.Base.Iterations = 4
+	if _, err := (&campaign.Runner{Checkpoint: sessionPath}).RunMatrix(m); err == nil {
+		t.Error("matrix runner accepted (and would overwrite) a session checkpoint")
+	}
+
+	matrixPath := filepath.Join(dir, "matrix.json")
+	if err := os.WriteFile(matrixPath, []byte(`{"version":1,"results":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(matrixPath); err == nil {
+		t.Error("LoadCheckpoint accepted a campaign-matrix checkpoint")
+	}
+}
+
+func TestNewRejectsUnwritableCheckpointPath(t *testing.T) {
+	_, err := New("boom", WithCheckpointFile(filepath.Join(t.TempDir(), "missing-dir", "ck.json")))
+	if err == nil {
+		t.Fatal("New accepted a checkpoint path in a nonexistent directory")
+	}
+}
+
+func TestResumeRejectsMismatchedOptions(t *testing.T) {
+	mk := func(seed int64) *Campaign {
+		c, err := New("boom", WithSeed(seed), WithIterations(16), WithMergeEvery(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ck := midCampaignCheckpoint(t, mk(3), 4)
+	if _, err := mk(4).Resume(context.Background(), ck); err == nil {
+		t.Fatal("resume accepted a checkpoint from different options")
+	}
+	if _, err := mk(3).Resume(context.Background(), nil); err == nil {
+		t.Fatal("resume accepted a nil checkpoint")
+	}
+}
+
+func TestSessionOnISATarget(t *testing.T) {
+	c, err := New("isasim", WithSeed(7), WithIterations(24), WithMergeEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := c.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range session.Events() {
+	}
+	rep, err := session.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage == 0 {
+		t.Error("isasim target session collected no coverage")
+	}
+	if rep.Options.Target != "isasim" {
+		t.Errorf("report target %q", rep.Options.Target)
+	}
+}
+
+// --- deprecated Config shim ------------------------------------------------
+
+func TestConfigShimDefaults(t *testing.T) {
+	f := NewFromConfig(Config{Core: BOOM, Iterations: 10, Seed: 5})
 	rep := f.Run()
 	if len(rep.Iters) != 10 {
 		t.Fatalf("iterations = %d, want 10", len(rep.Iters))
@@ -11,9 +401,33 @@ func TestFacadeDefaults(t *testing.T) {
 	if f.Coverage() != rep.Coverage {
 		t.Errorf("facade coverage %d != report coverage %d", f.Coverage(), rep.Coverage)
 	}
+	// Unset fields keep the historical defaults.
+	if rep.Options.Seed != 5 || rep.Options.Shards != 8 {
+		t.Errorf("shim defaults drifted: %+v", rep.Options)
+	}
+	if got := NewFromConfig(Config{Core: BOOM, Iterations: 1}).Run().Options.Seed; got != 1 {
+		t.Errorf("unset seed = %d, want historical default 1", got)
+	}
 }
 
-func TestFacadeVariantsAndAblations(t *testing.T) {
+// TestConfigShimExplicitZeros pins the zero-value fix: SeedSet and
+// IterationsSet distinguish "unset" from explicit zero, which the original
+// shim could not express.
+func TestConfigShimExplicitZeros(t *testing.T) {
+	rep := NewFromConfig(Config{Core: BOOM, SeedSet: true, Iterations: 4}).Run()
+	if rep.Options.Seed != 0 {
+		t.Errorf("SeedSet: campaign ran with seed %d, want 0", rep.Options.Seed)
+	}
+	dry := NewFromConfig(Config{Core: BOOM, IterationsSet: true, Seed: 3}).Run()
+	if len(dry.Iters) != 0 {
+		t.Errorf("IterationsSet dry run executed %d iterations", len(dry.Iters))
+	}
+	if dry.Coverage != 0 || len(dry.Findings) != 0 {
+		t.Errorf("dry run produced results: coverage=%d findings=%d", dry.Coverage, len(dry.Findings))
+	}
+}
+
+func TestConfigShimVariantsAndAblations(t *testing.T) {
 	for _, cfg := range []Config{
 		{Core: XiangShan, Iterations: 4, Seed: 2},
 		{Core: BOOM, Iterations: 4, Seed: 3, Variant: RandomTraining},
@@ -21,17 +435,31 @@ func TestFacadeVariantsAndAblations(t *testing.T) {
 		{Core: BOOM, Iterations: 4, Seed: 5, DisableLiveness: true, DisableReduction: true},
 		{Core: BOOM, Iterations: 4, Seed: 6, Bugless: true},
 	} {
-		rep := New(cfg).Run()
+		rep := NewFromConfig(cfg).Run()
 		if len(rep.Iters) != cfg.Iterations {
 			t.Errorf("%+v: ran %d iterations", cfg, len(rep.Iters))
 		}
 	}
 }
 
-func TestFacadeWorkers(t *testing.T) {
-	f := New(Config{Core: BOOM, Iterations: 12, Seed: 9, Workers: 4})
+func TestConfigShimWorkers(t *testing.T) {
+	f := NewFromConfig(Config{Core: BOOM, Iterations: 12, Seed: 9, Workers: 4})
 	rep := f.Run()
 	if len(rep.Iters) != 12 {
 		t.Fatalf("iterations = %d, want 12", len(rep.Iters))
+	}
+}
+
+// TestShimMatchesOptionsAPI pins the shim's translation: the same campaign
+// expressed both ways produces identical reports.
+func TestShimMatchesOptionsAPI(t *testing.T) {
+	shim := NewFromConfig(Config{Core: XiangShan, Seed: 11, Iterations: 16, Shards: 4}).Run()
+	c, err := New("xiangshan", WithSeed(11), WithIterations(16), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern := c.Run()
+	if !bytes.Equal(reportFingerprint(t, shim), reportFingerprint(t, modern)) {
+		t.Error("Config shim and functional options produce different reports")
 	}
 }

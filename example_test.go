@@ -1,0 +1,60 @@
+package dejavuzz_test
+
+import (
+	"context"
+	"fmt"
+
+	"dejavuzz"
+)
+
+// ExampleNew is the documented quick start: build a campaign for a
+// registered target with functional options and run it to completion.
+func ExampleNew() {
+	c, err := dejavuzz.New("boom",
+		dejavuzz.WithSeed(1),
+		dejavuzz.WithIterations(16),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report := c.Run()
+	fmt.Printf("iterations: %d\n", len(report.Iters))
+	fmt.Printf("collected coverage: %v\n", report.Coverage > 0)
+	// Output:
+	// iterations: 16
+	// collected coverage: true
+}
+
+// ExampleSession_events streams a campaign: epoch and finding events arrive
+// at the engine's deterministic merge barriers, and the channel closes
+// after the final Done event.
+func ExampleSession_events() {
+	c, err := dejavuzz.New("isasim",
+		dejavuzz.WithSeed(7),
+		dejavuzz.WithIterations(32),
+		dejavuzz.WithMergeEvery(8),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	session, err := c.Start(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	epochs := 0
+	for ev := range session.Events() {
+		switch ev.Kind {
+		case dejavuzz.EventEpoch:
+			epochs++
+		case dejavuzz.EventDone:
+			fmt.Printf("epochs streamed: %d\n", epochs)
+			fmt.Printf("completed: %v\n", ev.Report != nil)
+		}
+	}
+	// Output:
+	// epochs streamed: 4
+	// completed: true
+}

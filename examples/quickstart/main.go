@@ -1,11 +1,13 @@
 // Quickstart: fuzz the BOOM-like core for transient-execution leaks using
-// the public API.
+// the public streaming API — a session with live Finding/Epoch events.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"dejavuzz"
 )
@@ -13,12 +15,38 @@ import (
 func main() {
 	fmt.Println("DejaVuzz quickstart: fuzzing the SmallBOOM-like core")
 
-	f := dejavuzz.New(dejavuzz.Config{
-		Core:       dejavuzz.BOOM,
-		Seed:       2024,
-		Iterations: 60,
-	})
-	report := f.Run()
+	c, err := dejavuzz.New("boom",
+		dejavuzz.WithSeed(2024),
+		dejavuzz.WithIterations(60),
+		dejavuzz.WithMergeEvery(16), // stream an epoch event every 16 iterations
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	session, err := c.Start(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The event stream is deterministic: findings and epoch summaries are
+	// emitted at the engine's merge barriers, so the same options always
+	// produce the same sequence.
+	for ev := range session.Events() {
+		switch ev.Kind {
+		case dejavuzz.EventEpoch:
+			fmt.Printf("  %d/%d iterations, %d coverage points\n", ev.Done, ev.Total, ev.Coverage)
+		case dejavuzz.EventFinding:
+			fmt.Printf("  ! finding at iteration %d: %v\n", ev.Finding.Iteration, ev.Finding)
+		}
+	}
+	report, err := session.Wait()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("\n%d iterations, %d RTL simulations, %v wall time\n",
 		len(report.Iters), report.Sims, report.Duration.Round(1e6))

@@ -1,0 +1,44 @@
+// Package atomicfile provides crash-safe whole-file replacement: write to a
+// temp file in the target directory, then rename over the destination, so
+// readers never observe a truncated or partially written file.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with data (write temp + rename). On error
+// the destination is untouched and the temp file is cleaned up.
+func Write(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ProbeDir verifies that path's directory exists and is writable by
+// creating and removing a temp file — an eager configuration check for
+// files that will be written later.
+func ProbeDir(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".probe-*")
+	if err != nil {
+		return err
+	}
+	tmp.Close()
+	return os.Remove(tmp.Name())
+}

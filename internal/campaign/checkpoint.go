@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"dejavuzz/internal/atomicfile"
 	"dejavuzz/internal/core"
 )
 
@@ -45,8 +45,12 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 	if c.Version != checkpointVersion {
 		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, c.Version, checkpointVersion)
 	}
+	// A missing results map means the file is some other JSON artifact —
+	// most likely a single-session engine checkpoint, which shares the
+	// version field. Refusing here keeps matrix mode from silently
+	// overwriting a resumable session state (and vice versa).
 	if c.Results == nil {
-		c.Results = map[string]*core.Report{}
+		return nil, fmt.Errorf("campaign: %s is not a campaign-matrix checkpoint (no results map)", path)
 	}
 	return &c, nil
 }
@@ -61,21 +65,7 @@ func saveCheckpoint(path string, c *checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("campaign: encode checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicfile.Write(path, data); err != nil {
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
 	}
 	return nil

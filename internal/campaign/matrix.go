@@ -98,12 +98,25 @@ func (m Matrix) Expand() []Spec {
 						opts.Iterations = core.DefaultOptions(kind).Iterations
 					}
 					opts.Core = kind
+					if len(m.Cores) > 0 {
+						// An explicit Cores axis selects the built-in uarch
+						// targets; without one the Base target (which may be
+						// a custom registration) carries through.
+						opts.Target = core.BuiltinTargetName(kind)
+					}
 					opts.Variant = v
 					opts.Seed = seed
 					if ab.Apply != nil {
 						ab.Apply(&opts)
 					}
-					name := fmt.Sprintf("%v/%v/%s", kind, v, ab.Name)
+					// Cells on non-builtin targets are keyed by target name
+					// so they never collide with uarch cells in a shared
+					// checkpoint.
+					label := fmt.Sprintf("%v", kind)
+					if t := opts.Normalized().Target; t != core.BuiltinTargetName(kind) {
+						label = t
+					}
+					name := fmt.Sprintf("%s/%v/%s", label, v, ab.Name)
 					if m.Prefix != "" {
 						name = m.Prefix + "/" + name
 					}

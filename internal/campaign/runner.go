@@ -1,8 +1,8 @@
 package campaign
 
 import (
+	"context"
 	"io"
-	"reflect"
 	"sync"
 
 	"dejavuzz/internal/core"
@@ -40,6 +40,16 @@ type Runner struct {
 // results, since the campaigns themselves completed (the engine has no
 // error path).
 func (r *Runner) Run(specs []Spec) ([]Result, error) {
+	return r.RunContext(context.Background(), specs)
+}
+
+// RunContext is Run with cancellation: a cancelled context stops every
+// in-flight campaign at its next merge barrier and skips campaigns not yet
+// started. Interrupted campaigns report nil in the result slice and the
+// context's error is returned; campaigns already finished (or restored)
+// keep their results, and finished-and-saved checkpoint entries survive, so
+// re-running the same specs resumes where the cancellation landed.
+func (r *Runner) RunContext(ctx context.Context, specs []Spec) ([]Result, error) {
 	ckpt, err := loadCheckpoint(r.Checkpoint)
 	if err != nil {
 		return nil, err
@@ -66,6 +76,10 @@ func (r *Runner) Run(specs []Spec) ([]Result, error) {
 			continue
 		}
 		jobs = append(jobs, func() {
+			if ctx.Err() != nil {
+				progress.Logf("[%s] skipped: %v", spec.Name, ctx.Err())
+				return
+			}
 			progress.Logf("[%s] start: %d iterations on %v", spec.Name, spec.Opts.Iterations, spec.Opts.Core)
 			opts := spec.Opts
 			prev := opts.OnEpoch
@@ -75,7 +89,11 @@ func (r *Runner) Run(specs []Spec) ([]Result, error) {
 				}
 				progress.Logf("[%s] %d/%d iterations, coverage=%d", spec.Name, done, total, coverage)
 			}
-			rep := core.NewFuzzer(opts).Run()
+			rep, _ := core.NewFuzzer(opts).RunContext(ctx)
+			if rep == nil {
+				progress.Logf("[%s] interrupted: %v", spec.Name, ctx.Err())
+				return
+			}
 			results[i] = Result{Name: spec.Name, Report: rep}
 			progress.Logf("[%s] done: %d findings, coverage=%d in %v",
 				spec.Name, len(rep.Findings), rep.Coverage, rep.Duration.Round(1e6))
@@ -109,21 +127,25 @@ func (r *Runner) Run(specs []Spec) ([]Result, error) {
 		})
 	}
 	RunJobs(r.Workers, jobs)
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
 	return results, firstErr
 }
 
 // resultMatches reports whether a checkpointed report was produced by
-// determinism-equivalent options: everything except Workers and the OnEpoch
-// hook, which only shape wall-clock behaviour. Options contains a func
-// field, so the comparison goes through reflect.DeepEqual.
+// determinism-equivalent options (everything except Workers and the hooks,
+// which only shape wall-clock behaviour).
 func resultMatches(rep *core.Report, want core.Options) bool {
-	a, b := rep.Options.Normalized(), want.Normalized()
-	a.Workers, b.Workers = 0, 0
-	a.OnEpoch, b.OnEpoch = nil, nil
-	return reflect.DeepEqual(a, b)
+	return rep.Options.EquivalentTo(want)
 }
 
 // RunMatrix expands and runs a matrix in one call.
 func (r *Runner) RunMatrix(m Matrix) ([]Result, error) {
 	return r.Run(m.Expand())
+}
+
+// RunMatrixContext expands and runs a matrix with cancellation.
+func (r *Runner) RunMatrixContext(ctx context.Context, m Matrix) ([]Result, error) {
+	return r.RunContext(ctx, m.Expand())
 }

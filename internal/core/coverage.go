@@ -116,6 +116,39 @@ func (c *Coverage) Absorb(d *Delta) int {
 	return added
 }
 
+// CovPoint is one exported coverage-matrix point: a (module,
+// tainted-element-count) pair. It is the checkpoint serialisation unit.
+type CovPoint struct {
+	Module string `json:"m"`
+	Count  int    `json:"n"`
+}
+
+// Points exports the matrix as a sorted point list (checkpoint snapshots).
+func (c *Coverage) Points() []CovPoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CovPoint, 0, len(c.points))
+	for k := range c.points {
+		out = append(out, CovPoint{Module: k.module, Count: k.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].Count < out[j].Count
+	})
+	return out
+}
+
+// AddPoints folds exported points back into the matrix (checkpoint restore).
+func (c *Coverage) AddPoints(pts []CovPoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pts {
+		c.points[covKey{module: p.Module, count: p.Count}] = struct{}{}
+	}
+}
+
 // Count returns the number of collected coverage points.
 func (c *Coverage) Count() int {
 	c.mu.Lock()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -74,6 +76,85 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(fingerprint(ref), fingerprint(rep)) {
 			t.Errorf("Workers=%d: full report fingerprint diverges", workers)
 		}
+	}
+}
+
+// TestCampaignCancelResumeDeterministic extends the determinism regression
+// test across cancellation: a campaign cancelled at a merge barrier yields
+// an EngineState that — after a JSON round-trip, and under a different
+// worker count — resumes to a report identical to the uninterrupted run.
+func TestCampaignCancelResumeDeterministic(t *testing.T) {
+	ref := NewFuzzer(campaignOpts(1, 64)).Run()
+	if len(ref.Findings) == 0 {
+		t.Fatal("reference campaign found nothing; determinism check is vacuous")
+	}
+
+	for _, stopAt := range []int{16, 48} {
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := campaignOpts(4, 64)
+		opts.OnBarrier = func(b *Barrier) {
+			if b.Done == stopAt {
+				cancel()
+			}
+		}
+		rep, state := NewFuzzer(opts).RunContext(ctx)
+		cancel()
+		if rep != nil || state == nil {
+			t.Fatalf("stopAt=%d: campaign did not stop at the barrier", stopAt)
+		}
+		if state.NextIter != stopAt {
+			t.Fatalf("stopAt=%d: stopped at %d", stopAt, state.NextIter)
+		}
+
+		// The snapshot must survive serialisation: resume from the decoded
+		// bytes, with a different worker count than the reference.
+		data, err := json.Marshal(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored EngineState
+		if err := json.Unmarshal(data, &restored); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFuzzerFromState(&restored, campaignOpts(8, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed := f.Run()
+		if !reflect.DeepEqual(fingerprint(ref), fingerprint(resumed)) {
+			t.Errorf("stopAt=%d: resumed report diverges from uninterrupted run", stopAt)
+		}
+	}
+}
+
+// TestResumeStateValidation checks NewFuzzerFromState rejects snapshots
+// that cannot have come from the supplied options.
+func TestResumeStateValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := campaignOpts(1, 32)
+	opts.OnBarrier = func(b *Barrier) {
+		if b.Done == 16 {
+			cancel()
+		}
+	}
+	_, state := NewFuzzer(opts).RunContext(ctx)
+	cancel()
+	if state == nil {
+		t.Fatal("no snapshot produced")
+	}
+	mismatched := campaignOpts(1, 32)
+	mismatched.Seed = 999
+	if _, err := NewFuzzerFromState(state, mismatched); err == nil {
+		t.Error("accepted snapshot under mismatched seed")
+	}
+	workersOnly := campaignOpts(16, 32)
+	if _, err := NewFuzzerFromState(state, workersOnly); err != nil {
+		t.Errorf("rejected workers-only difference: %v", err)
+	}
+	bad := *state
+	bad.Version = EngineStateVersion + 1
+	if _, err := NewFuzzerFromState(&bad, campaignOpts(1, 32)); err == nil {
+		t.Error("accepted snapshot with wrong version")
 	}
 }
 

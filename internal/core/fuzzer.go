@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -15,22 +18,30 @@ const corpusCap = 256
 
 // Options configures a fuzzing campaign.
 type Options struct {
-	Core       uarch.CoreKind
-	Seed       int64
+	// Target selects the registered design under test by name. Empty means
+	// the built-in uarch target for Core ("boom" or "xiangshan") — the
+	// legacy selection path; Normalized canonicalises it.
+	Target string
+	Core   uarch.CoreKind
+	Seed   int64
+	// Iterations is the campaign length. Zero is a valid (empty) campaign;
+	// callers wanting the engine default should use DefaultOptions.
 	Iterations int
 	// Workers is the number of OS-level workers executing shards. It affects
 	// wall-clock time only: a campaign's results are identical for any
 	// Workers value given the same Seed, Iterations, Shards and MergeEvery.
 	Workers int
 	// Shards is the number of deterministic logical shards. Each shard owns a
-	// private generator stream derived from (Seed, shard id), a private
-	// corpus view and a private coverage delta; iteration i belongs to shard
-	// i mod Shards. Changing Shards changes results (it reshapes the streams)
-	// — changing Workers never does.
+	// private generator stream derived from (Seed, shard id, epoch), a
+	// private corpus view and a private coverage delta; iteration i belongs
+	// to shard i mod Shards. Changing Shards changes results (it reshapes the
+	// streams) — changing Workers never does.
 	Shards int
 	// MergeEvery is the iteration-count barrier interval at which shard
 	// coverage deltas and corpus additions merge into the global state, in
-	// fixed shard order.
+	// fixed shard order. Barriers are also the campaign's only cancellation
+	// and checkpoint points: streams are reproducible because every event
+	// the engine emits happens at a barrier.
 	MergeEvery int
 	MaxCycles  int
 
@@ -58,6 +69,10 @@ type Options struct {
 	// count. It runs on the engine goroutine at deterministic points, so it
 	// is safe for streaming progress and checkpoint hooks.
 	OnEpoch func(done, total, coverage int) `json:"-"`
+	// OnBarrier, when set, is called after every merge barrier (after
+	// OnEpoch) with the barrier's full event payload, including the epoch's
+	// findings in iteration order and a Snapshot hook for checkpointing.
+	OnBarrier func(b *Barrier) `json:"-"`
 }
 
 // Normalized returns the options with engine defaults applied — the exact
@@ -72,12 +87,32 @@ func (o Options) Normalized() Options {
 	if o.MergeEvery <= 0 {
 		o.MergeEvery = 64
 	}
+	if o.Iterations < 0 {
+		o.Iterations = 0
+	}
+	if o.Target == "" {
+		o.Target = BuiltinTargetName(o.Core)
+	}
 	return o
+}
+
+// EquivalentTo reports whether two option sets are determinism-equivalent:
+// equal in everything except Workers and the hooks, which only shape
+// wall-clock behaviour, never results.
+func (o Options) EquivalentTo(other Options) bool {
+	a, b := o.Normalized(), other.Normalized()
+	a.Workers, b.Workers = 0, 0
+	a.OnEpoch, b.OnEpoch = nil, nil
+	a.OnBarrier, b.OnBarrier = nil, nil
+	// Options contains func fields (nil after the stripping above), so the
+	// comparison goes through reflect.DeepEqual rather than ==.
+	return reflect.DeepEqual(a, b)
 }
 
 // DefaultOptions returns the standard DejaVuzz configuration.
 func DefaultOptions(core uarch.CoreKind) Options {
 	return Options{
+		Target:              BuiltinTargetName(core),
 		Core:                core,
 		Seed:                1,
 		Iterations:          100,
@@ -91,6 +126,14 @@ func DefaultOptions(core uarch.CoreKind) Options {
 		UseReduction:        true,
 		SecretRetries:       2,
 	}
+}
+
+// DefaultOptionsFor returns the standard configuration for a registered
+// target.
+func DefaultOptionsFor(t Target) Options {
+	opts := DefaultOptions(t.Kind())
+	opts.Target = t.Name()
+	return opts
 }
 
 // IterStat records one fuzzing iteration's outcome (Figure 7's x-axis unit).
@@ -134,6 +177,67 @@ func (r *Report) CoverageHistory() []int {
 	return out
 }
 
+// EpochMark is one merge barrier's (end iteration, merged coverage) pair,
+// used for coverage-history reconciliation and checkpoint resume.
+type EpochMark struct {
+	End   int `json:"end"`
+	Count int `json:"count"`
+}
+
+// ShardState is the persistent (cross-epoch) feedback state of one shard.
+type ShardState struct {
+	AvgGain   float64 `json:"avg_gain"`
+	GainCount int     `json:"gain_count"`
+	PickCount int     `json:"pick_count"`
+}
+
+// EngineStateVersion guards the checkpoint format against drift between PRs.
+const EngineStateVersion = 1
+
+// EngineState is a resumable mid-campaign snapshot, taken at a merge
+// barrier. Because shard generators are re-seeded from (campaign seed,
+// shard, epoch) at every epoch and all cross-shard state merges at barriers,
+// this struct is the campaign's complete determinism-relevant state: a
+// fuzzer rebuilt from it finishes with results byte-identical (modulo
+// wall-clock fields) to an uninterrupted run. It round-trips through JSON.
+type EngineState struct {
+	Version int `json:"version"`
+	// Options are the campaign's normalized options (hooks are not
+	// serialised; the resuming caller re-attaches its own).
+	Options Options `json:"options"`
+	// NextIter is the first iteration of the next epoch to run.
+	NextIter int `json:"next_iter"`
+	// Epoch is the next epoch ordinal (shard generator seeding input).
+	Epoch     int          `json:"epoch"`
+	Corpus    []gen.Seed   `json:"corpus"`
+	Coverage  []CovPoint   `json:"coverage"`
+	Shards    []ShardState `json:"shards"`
+	Findings  []Finding    `json:"findings"`
+	Iters     []IterStat   `json:"iters"`
+	Marks     []EpochMark  `json:"marks"`
+	DeadSinks int          `json:"dead_sinks"`
+}
+
+// Barrier is the payload of one merge-barrier event.
+type Barrier struct {
+	// Epoch is the barrier's ordinal since campaign start (resume keeps
+	// counting from the checkpoint, so ordinals are campaign-absolute).
+	Epoch int
+	// Done/Total are completed and total campaign iterations.
+	Done, Total int
+	// Coverage is the merged global coverage count.
+	Coverage int
+	// Findings are the findings merged at this barrier, iteration-ordered.
+	Findings []Finding
+
+	snapshot func() *EngineState
+}
+
+// Snapshot captures the engine's resumable state at this barrier. It is
+// only valid during the OnBarrier callback (the engine goroutine is parked
+// at the barrier, so the snapshot is consistent).
+func (b *Barrier) Snapshot() *EngineState { return b.snapshot() }
+
 // Fuzzer is the DejaVuzz fuzzing manager.
 type Fuzzer struct {
 	opts     Options
@@ -141,22 +245,130 @@ type Fuzzer struct {
 	gen      *gen.Generator
 	coverage *Coverage
 	corpus   []gen.Seed // merged global corpus, mutated only at barriers
+	pipeline Pipeline
+
+	// resume state (zero on a fresh campaign)
+	startIter  int
+	startEpoch int
+	shards     []*shard
+	iters      []IterStat
+	marks      []EpochMark
+	findings   []Finding
+	deadSinks  int
+	started    bool
 }
 
-// NewFuzzer builds a fuzzer for the options.
+// NewFuzzer builds a fuzzer for the options. The options' Target (or, when
+// empty, Core) must name a registered target; an unknown name panics —
+// validate with LookupTarget first when the name is user-supplied.
 func NewFuzzer(opts Options) *Fuzzer {
+	opts = opts.Normalized()
+	t, err := LookupTarget(opts.Target)
+	if err != nil {
+		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
+	}
+	opts.Core = t.Kind()
 	cfg := uarch.ConfigFor(opts.Core)
 	if opts.Bugless {
 		cfg.Bugs = uarch.BugSet{}
 	}
-	opts = opts.Normalized()
-	return &Fuzzer{
+	f := &Fuzzer{
 		opts:     opts,
 		cfg:      cfg,
 		gen:      gen.New(opts.Seed),
 		coverage: NewCoverage(),
 	}
+	f.pipeline = t.NewPipeline(f)
+	f.shards = make([]*shard, opts.Shards)
+	for i := range f.shards {
+		f.shards[i] = &shard{f: f, id: i}
+	}
+	f.iters = make([]IterStat, opts.Iterations)
+	return f
 }
+
+// NewFuzzerFromState rebuilds a fuzzer from a barrier snapshot. The
+// supplied options must be determinism-equivalent to the snapshot's (they
+// may differ in Workers and hooks); the resumed campaign finishes with
+// results byte-identical (modulo wall-clock fields) to an uninterrupted
+// run of the same options.
+func NewFuzzerFromState(st *EngineState, opts Options) (*Fuzzer, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil engine state")
+	}
+	if st.Version != EngineStateVersion {
+		return nil, fmt.Errorf("core: engine state version %d, want %d", st.Version, EngineStateVersion)
+	}
+	if !st.Options.EquivalentTo(opts) {
+		return nil, fmt.Errorf("core: engine state options do not match campaign options")
+	}
+	norm := st.Options.Normalized()
+	norm.Workers = opts.Normalized().Workers
+	norm.OnEpoch = opts.OnEpoch
+	norm.OnBarrier = opts.OnBarrier
+	if len(st.Shards) != norm.Shards {
+		return nil, fmt.Errorf("core: engine state has %d shard records, want %d", len(st.Shards), norm.Shards)
+	}
+	if st.NextIter < 0 || st.NextIter > norm.Iterations || len(st.Iters) != st.NextIter {
+		return nil, fmt.Errorf("core: engine state iteration bounds corrupt (next=%d, iters=%d, total=%d)",
+			st.NextIter, len(st.Iters), norm.Iterations)
+	}
+	// Snapshots are only taken at barriers, where NextIter and the epoch
+	// ordinal are locked together; a mismatch would replay already-consumed
+	// shard streams and silently break the byte-identical-resume guarantee,
+	// so fail fast instead.
+	if wantNext := st.Epoch * norm.MergeEvery; st.NextIter != wantNext &&
+		!(st.NextIter == norm.Iterations && wantNext > norm.Iterations) {
+		return nil, fmt.Errorf("core: engine state epoch %d inconsistent with next iteration %d (merge every %d)",
+			st.Epoch, st.NextIter, norm.MergeEvery)
+	}
+	f := NewFuzzer(norm)
+	f.startIter = st.NextIter
+	f.startEpoch = st.Epoch
+	f.corpus = append([]gen.Seed(nil), st.Corpus...)
+	f.coverage.AddPoints(st.Coverage)
+	copy(f.iters, st.Iters)
+	f.marks = append([]EpochMark(nil), st.Marks...)
+	f.findings = append([]Finding(nil), st.Findings...)
+	f.deadSinks = st.DeadSinks
+	for i, s := range f.shards {
+		s.avgGain = st.Shards[i].AvgGain
+		s.gainCount = st.Shards[i].GainCount
+		s.pickCount = st.Shards[i].PickCount
+	}
+	return f, nil
+}
+
+// snapshot captures the engine state between epochs. Only called from the
+// engine goroutine at a barrier (or before the first epoch), when all shard
+// state is merged and quiescent.
+func (f *Fuzzer) snapshot(nextIter, nextEpoch int) *EngineState {
+	st := &EngineState{
+		Version:   EngineStateVersion,
+		Options:   f.opts,
+		NextIter:  nextIter,
+		Epoch:     nextEpoch,
+		Corpus:    append([]gen.Seed(nil), f.corpus...),
+		Coverage:  f.coverage.Points(),
+		Shards:    make([]ShardState, len(f.shards)),
+		Findings:  append([]Finding(nil), f.findings...),
+		Iters:     append([]IterStat(nil), f.iters[:nextIter]...),
+		Marks:     append([]EpochMark(nil), f.marks...),
+		DeadSinks: f.deadSinks,
+	}
+	st.Options.OnEpoch = nil
+	st.Options.OnBarrier = nil
+	for i, s := range f.shards {
+		st.Shards[i] = ShardState{AvgGain: s.avgGain, GainCount: s.gainCount, PickCount: s.pickCount}
+	}
+	return st
+}
+
+// Options returns the fuzzer's normalized options.
+func (f *Fuzzer) Options() Options { return f.opts }
+
+// Config returns the (bug-gated) core configuration under test.
+func (f *Fuzzer) Config() uarch.Config { return f.cfg }
 
 // Coverage exposes the live coverage matrix.
 func (f *Fuzzer) Coverage() *Coverage { return f.coverage }
@@ -168,12 +380,12 @@ func (f *Fuzzer) runOpts(mode uarch.IFTMode, taintTrace bool) RunOpts {
 // shard is one deterministic slice of a campaign: a private generator
 // stream, a private corpus view and a private coverage delta. A shard is
 // only ever touched by one worker at a time, so it needs no locks; its state
-// depends only on (campaign seed, shard id) and the barrier-merged global
-// state, never on worker scheduling.
+// depends only on (campaign seed, shard id, epoch) and the barrier-merged
+// global state, never on worker scheduling.
 type shard struct {
 	f   *Fuzzer
 	id  int
-	gen *gen.Generator
+	gen *gen.Generator // re-seeded every epoch from (seed, id, epoch)
 
 	// corpus is the epoch-start snapshot of the global corpus (capacity-
 	// clamped so appends never alias sibling shards) plus local appends.
@@ -184,8 +396,8 @@ type shard struct {
 	avgGain   float64
 	gainCount int
 	pickCount int
-	findings  []Finding
-	deadSinks int
+	findings  []Finding // this epoch's findings, merged at the barrier
+	deadSinks int       // this epoch's dead-sink count, merged at the barrier
 }
 
 // nextSeed picks the next seed: mutate a corpus member (coverage feedback)
@@ -216,46 +428,26 @@ func (s *shard) feedback(seed gen.Seed, newPoints int, taintGain bool) {
 	}
 }
 
-// runIteration executes one complete fuzzing iteration (all three phases)
+// runIteration executes one fuzzing iteration through the target pipeline
 // against the shard's private state.
 func (s *shard) runIteration(iter int) IterStat {
-	f := s.f
-	stat := IterStat{Iteration: iter}
 	seed := s.nextSeed()
-	stat.Trigger = seed.Trigger
+	stat := IterStat{Iteration: iter, Trigger: seed.Trigger}
 
-	p1, err := f.Phase1(seed)
-	if err != nil {
-		return stat
+	out := s.f.pipeline.RunIteration(iter, seed, s.cov)
+	stat.Triggered = out.Triggered
+	stat.TaintGain = out.TaintGain
+	stat.NewPoints = out.NewPoints
+	stat.Sims = out.Sims
+	if out.Measured {
+		s.feedback(seed, out.NewPoints, out.TaintGain)
 	}
-	stat.Sims += p1.Sims
-	if !p1.Triggered {
-		return stat
-	}
-	stat.Triggered = true
-
-	p2, err := f.phase2Into(p1, s.cov)
-	if err != nil {
-		return stat
-	}
-	stat.Sims += p2.Sims
-	stat.TaintGain = p2.TaintGain
-	stat.NewPoints = p2.NewPoints
-	s.feedback(seed, p2.NewPoints, p2.TaintGain)
-	if !p2.TaintGain {
-		return stat
-	}
-
-	p3, err := f.Phase3(p1, p2)
-	if err != nil {
-		return stat
-	}
-	stat.Sims += p3.Sims
-	if p3.Finding != nil {
-		p3.Finding.Iteration = iter
+	if out.Finding != nil {
+		finding := *out.Finding
+		finding.Iteration = iter
 		stat.Finding = true
-		s.findings = append(s.findings, *p3.Finding)
-	} else if p3.DeadSinksOnly {
+		s.findings = append(s.findings, finding)
+	} else if out.DeadSinksOnly {
 		s.deadSinks++
 	}
 	return stat
@@ -265,39 +457,57 @@ func (s *shard) runIteration(iter int) IterStat {
 // deterministic in (Seed, Iterations, Shards, MergeEvery): the same options
 // yield byte-identical Findings, Iters and Coverage whether Workers is 1 or
 // 16 (only Duration and the wall-clock FirstBug estimate vary).
+//
+// A Fuzzer executes at most one campaign: since it carries the campaign's
+// cross-epoch state (for barrier snapshots and resume), a second
+// Run/RunContext call panics — build a fresh Fuzzer instead.
 func (f *Fuzzer) Run() *Report {
+	rep, _ := f.RunContext(context.Background())
+	return rep
+}
+
+// RunContext executes the campaign until completion or context
+// cancellation. Cancellation is honoured at the next merge barrier — the
+// only point where cross-shard state is consistent — and yields a resumable
+// snapshot instead of a report: exactly one of the two return values is
+// non-nil. Rebuild with NewFuzzerFromState to continue; the finished
+// campaign's results are byte-identical (modulo wall-clock fields) to an
+// uninterrupted run.
+func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
+	if f.started {
+		panic("core: Fuzzer.Run called twice (a Fuzzer executes at most one campaign; build a fresh one)")
+	}
+	f.started = true
 	start := time.Now()
-	rep := &Report{Options: f.opts}
 	n := f.opts.Iterations
+	mergeEvery := f.opts.MergeEvery
 	numShards := f.opts.Shards
 	workers := f.opts.Workers
 	if workers > numShards {
 		workers = numShards
 	}
 
-	shards := make([]*shard, numShards)
-	for i := range shards {
-		shards[i] = &shard{f: f, id: i, gen: gen.NewShard(f.opts.Seed, i)}
-	}
-	iters := make([]IterStat, n)
-	// Per-epoch (end iteration, merged global count) pairs for history
-	// reconciliation below.
-	type epochMark struct{ end, count int }
-	var marks []epochMark
-
-	for lo := 0; lo < n; lo += f.opts.MergeEvery {
-		hi := lo + f.opts.MergeEvery
+	epoch := f.startEpoch
+	for lo := f.startIter; lo < n; lo, epoch = lo+mergeEvery, epoch+1 {
+		if ctx.Err() != nil {
+			return nil, f.snapshot(lo, epoch)
+		}
+		hi := lo + mergeEvery
 		if hi > n {
 			hi = n
 		}
-		// Epoch start: every shard snapshots the merged corpus. The full
+		// Epoch start: every shard re-seeds its generator from (campaign
+		// seed, shard id, epoch) and snapshots the merged corpus. The full
 		// slice expression clamps capacity so shard appends reallocate
 		// instead of aliasing siblings.
 		snap := f.corpus[:len(f.corpus):len(f.corpus)]
-		for _, s := range shards {
+		for _, s := range f.shards {
+			s.gen = gen.NewEpochShard(f.opts.Seed, s.id, epoch)
 			s.corpus = snap
 			s.newSeeds = s.newSeeds[:0]
 			s.cov = f.coverage.NewDelta()
+			s.findings = s.findings[:0]
+			s.deadSinks = 0
 		}
 
 		// Workers drain whole shards; shard state stays single-owner and the
@@ -315,31 +525,58 @@ func (f *Fuzzer) Run() *Report {
 						first += numShards
 					}
 					for i := first; i < hi; i += numShards {
-						iters[i] = s.runIteration(i)
+						f.iters[i] = s.runIteration(i)
 					}
 				}
 			}()
 		}
-		for _, s := range shards {
+		for _, s := range f.shards {
 			work <- s
 		}
 		close(work)
 		wg.Wait()
 
 		// Barrier: merge in fixed shard order.
-		for _, s := range shards {
+		var epochFindings []Finding
+		for _, s := range f.shards {
 			f.coverage.Absorb(s.cov)
 			f.corpus = append(f.corpus, s.newSeeds...)
+			epochFindings = append(epochFindings, s.findings...)
+			f.deadSinks += s.deadSinks
 		}
 		if len(f.corpus) > corpusCap {
 			f.corpus = f.corpus[len(f.corpus)-corpusCap:]
 		}
+		// At most one finding per iteration, so iteration order is total.
+		sort.Slice(epochFindings, func(i, j int) bool {
+			return epochFindings[i].Iteration < epochFindings[j].Iteration
+		})
+		f.findings = append(f.findings, epochFindings...)
 		merged := f.coverage.Count()
-		marks = append(marks, epochMark{end: hi, count: merged})
+		f.marks = append(f.marks, EpochMark{End: hi, Count: merged})
 		if f.opts.OnEpoch != nil {
 			f.opts.OnEpoch(hi, n, merged)
 		}
+		if f.opts.OnBarrier != nil {
+			nextIter, nextEpoch := hi, epoch+1
+			f.opts.OnBarrier(&Barrier{
+				Epoch:    epoch,
+				Done:     hi,
+				Total:    n,
+				Coverage: merged,
+				Findings: epochFindings,
+				snapshot: func() *EngineState { return f.snapshot(nextIter, nextEpoch) },
+			})
+		}
 	}
+
+	return f.finalize(start), nil
+}
+
+// finalize reconciles iteration statistics into the campaign report.
+func (f *Fuzzer) finalize(start time.Time) *Report {
+	rep := &Report{Options: f.opts}
+	n := f.opts.Iterations
 
 	// Reconcile the coverage history: shard-local NewPoints can overcount
 	// (cross-shard duplicates within an epoch), so the running sum is
@@ -348,33 +585,30 @@ func (f *Fuzzer) Run() *Report {
 	cum := 0
 	epoch := 0
 	firstBug := time.Duration(0)
-	for i := range iters {
-		cum += iters[i].NewPoints
-		if epoch < len(marks) {
-			if i+1 == marks[epoch].end {
+	for i := 0; i < n; i++ {
+		cum += f.iters[i].NewPoints
+		if epoch < len(f.marks) {
+			if i+1 == f.marks[epoch].End {
 				// Exact at the barrier, whatever the shard-local sums said.
-				cum = marks[epoch].count
+				cum = f.marks[epoch].Count
 				epoch++
-			} else if cum > marks[epoch].count {
-				cum = marks[epoch].count
+			} else if cum > f.marks[epoch].Count {
+				cum = f.marks[epoch].Count
 			}
 		}
-		iters[i].Coverage = cum
-		rep.Sims += iters[i].Sims
-		if iters[i].Finding && firstBug == 0 {
+		f.iters[i].Coverage = cum
+		rep.Sims += f.iters[i].Sims
+		if f.iters[i].Finding && firstBug == 0 {
 			// Approximate time-to-first-bug by proportion of wall time.
 			firstBug = time.Duration(float64(time.Since(start)) * float64(i+1) / float64(n))
 		}
 	}
-	for _, s := range shards {
-		rep.Findings = append(rep.Findings, s.findings...)
-		rep.DeadSinks += s.deadSinks
-	}
-	// At most one finding per iteration, so iteration order is total.
+	rep.Findings = append(rep.Findings, f.findings...)
 	sort.Slice(rep.Findings, func(i, j int) bool {
 		return rep.Findings[i].Iteration < rep.Findings[j].Iteration
 	})
-	rep.Iters = iters
+	rep.DeadSinks = f.deadSinks
+	rep.Iters = f.iters
 	rep.Coverage = f.coverage.Count()
 	rep.Duration = time.Since(start)
 	rep.FirstBug = firstBug

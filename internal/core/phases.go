@@ -128,12 +128,6 @@ type Phase2Result struct {
 	Sims      int
 }
 
-// covSink is where Phase 2 folds observed taint logs: the global matrix for
-// sequential use, a shard-local Delta inside the campaign engine.
-type covSink interface {
-	AddFromLog(log []uarch.TaintSample) int
-}
-
 // Phase2 implements Step 2.1/2.2: complete the window with secret access and
 // encode blocks, run the diffIFT differential testbench, and measure taint
 // coverage against the fuzzer's global matrix.
@@ -141,8 +135,8 @@ func (f *Fuzzer) Phase2(p1 *Phase1Result) (*Phase2Result, error) {
 	return f.phase2Into(p1, f.coverage)
 }
 
-// phase2Into is Phase2 with an explicit coverage sink.
-func (f *Fuzzer) phase2Into(p1 *Phase1Result, sink covSink) (*Phase2Result, error) {
+// phase2Into is Phase2 with an explicit coverage sink (see CovSink).
+func (f *Fuzzer) phase2Into(p1 *Phase1Result, sink CovSink) (*Phase2Result, error) {
 	cst, err := f.gen.CompleteWindow(p1.Stimulus)
 	if err != nil {
 		return nil, err

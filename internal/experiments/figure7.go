@@ -71,13 +71,16 @@ func Figure7(w io.Writer, iterations, trials int, seed int64, opts ...Option) ([
 			Seeds:     seeds,
 		}
 		runner := campaign.Runner{Workers: cfg.Workers, Checkpoint: cfg.Checkpoint, Progress: cfg.Progress}
-		results, rerr := runner.RunMatrix(m)
+		results, rerr := runner.RunMatrixContext(cfg.context(), m)
 		if results == nil {
 			return nil, rerr
 		}
-		runErr = rerr // checkpoint-save failure: keep the computed results
+		runErr = rerr // checkpoint-save failure or cancellation: keep what completed
 		// Expansion order: all baseline trials, then all no-feedback trials.
 		for i, res := range results {
+			if res.Report == nil {
+				continue // interrupted before this cell finished
+			}
 			si := i / trials // 0 = DejaVuzz, 1 = DejaVuzz−
 			series[si].Trials = append(series[si].Trials, res.Report.CoverageHistory())
 		}

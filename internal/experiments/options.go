@@ -1,18 +1,38 @@
 package experiments
 
-import "io"
+import (
+	"context"
+	"io"
+)
 
 // RunConfig tunes how campaign-backed experiments (Table 5, Figure 7)
-// execute: pool width, checkpoint/resume and streaming progress. It does not
-// affect results — campaigns are deterministic in their options.
+// execute: pool width, checkpoint/resume, streaming progress and
+// cancellation. It does not affect results — campaigns are deterministic in
+// their options.
 type RunConfig struct {
 	Workers    int
 	Checkpoint string
 	Progress   io.Writer
+	Ctx        context.Context
 }
 
 // Option mutates a RunConfig.
 type Option func(*RunConfig)
+
+// WithContext makes campaign-backed experiments cancellable: cancellation
+// stops in-flight campaigns at their next merge barrier, and finished
+// campaigns stay in the checkpoint (re-run to resume).
+func WithContext(ctx context.Context) Option {
+	return func(c *RunConfig) { c.Ctx = ctx }
+}
+
+// context returns the configured context (Background when unset).
+func (c RunConfig) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
 
 // WithWorkers sets the shared campaign pool width.
 func WithWorkers(n int) Option { return func(c *RunConfig) { c.Workers = n } }

@@ -61,16 +61,20 @@ func Table5(w io.Writer, iterations int, seed int64, opts ...Option) ([]Table5Re
 		Cores:  []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan},
 	}
 	runner := campaign.Runner{Workers: cfg.Workers, Checkpoint: cfg.Checkpoint, Progress: cfg.Progress}
-	results, runErr := runner.RunMatrix(m)
+	results, runErr := runner.RunMatrixContext(cfg.context(), m)
 	if results == nil {
 		return nil, runErr
 	}
-	// A non-nil runErr past this point is a checkpoint-save failure; the
-	// campaigns completed, so render the table and surface the error too.
+	// A non-nil runErr past this point is a checkpoint-save failure or a
+	// cancellation; completed campaigns still render, and the error is
+	// surfaced alongside.
 
 	var out []Table5Result
 	for i, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
 		rep := results[i].Report
+		if rep == nil {
+			continue // interrupted before this core's campaign finished
+		}
 
 		res := Table5Result{Core: kind, Rows: map[string]*Table5Row{}, FirstBug: rep.FirstBug}
 		for _, f := range rep.Findings {

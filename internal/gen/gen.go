@@ -144,9 +144,19 @@ func ShardSeed(campaignSeed int64, shard int) int64 {
 	return int64(splitMix64(uint64(campaignSeed)*0x9e3779b97f4a7c15 + uint64(shard) + 1))
 }
 
-// NewShard returns the deterministic per-shard generator for a campaign.
-func NewShard(campaignSeed int64, shard int) *Generator {
-	return New(ShardSeed(campaignSeed, shard))
+// EpochShardSeed derives the RNG seed for one (shard, epoch) cell of a
+// campaign. Seeding shard generators per epoch (rather than once per
+// campaign) makes a merge barrier a complete cut point: the stimulus stream
+// after barrier k depends only on (campaign seed, shard id, epoch index) and
+// the barrier-merged state, so a campaign checkpointed at a barrier resumes
+// byte-identically without serialising RNG internals.
+func EpochShardSeed(campaignSeed int64, shard, epoch int) int64 {
+	return int64(splitMix64(uint64(ShardSeed(campaignSeed, shard)) + splitMix64(uint64(epoch)+0x51ed)))
+}
+
+// NewEpochShard returns the deterministic generator for one shard epoch.
+func NewEpochShard(campaignSeed int64, shard, epoch int) *Generator {
+	return New(EpochShardSeed(campaignSeed, shard, epoch))
 }
 
 // RandomSeed draws a fresh seed for a core.

@@ -197,13 +197,13 @@ func TestShardStreams(t *testing.T) {
 	// Generators from different shards of one campaign must diverge
 	// immediately in practice (not a hard RNG guarantee, but a regression
 	// canary for the mixing function).
-	a := NewShard(7, 0).RandomSeed(uarch.KindBOOM)
-	b := NewShard(7, 1).RandomSeed(uarch.KindBOOM)
+	a := NewEpochShard(7, 0, 0).RandomSeed(uarch.KindBOOM)
+	b := NewEpochShard(7, 1, 0).RandomSeed(uarch.KindBOOM)
 	if a == b {
 		t.Error("shards 0 and 1 drew identical first seeds")
 	}
 	// And the same shard must reproduce its stream exactly.
-	c := NewShard(7, 0).RandomSeed(uarch.KindBOOM)
+	c := NewEpochShard(7, 0, 0).RandomSeed(uarch.KindBOOM)
 	if a != c {
 		t.Error("shard 0 stream is not reproducible")
 	}

@@ -1,0 +1,232 @@
+// Package isadiff implements the "isasim" campaign target: an architectural
+// (ISA-level) differential pair over internal/isasim, registered alongside
+// the cycle-accurate uarch targets.
+//
+// The target runs every generated stimulus on two golden-model instances
+// whose dedicated regions hold complementary secrets — the same coupling the
+// diffIFT testbench uses — but observes purely architectural state. It is
+// orders of magnitude cheaper than the uarch targets and serves two roles:
+//
+//   - a coverage smoke target: architectural divergence between the pair
+//     (registers or data memory that differ only because the secrets differ)
+//     maps onto the campaign coverage matrix, so the feedback loop, corpus
+//     and checkpoint machinery can be exercised end to end in milliseconds;
+//   - an architectural leakage baseline: a stimulus whose *control flow*
+//     diverges between the two instances leaks its secret architecturally
+//     (no transient execution required), which a well-formed stimulus never
+//     does — any such finding flags a generator bug or a genuinely
+//     architecture-level leak.
+package isadiff
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/isasim"
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+// TargetName is the registry key this package registers under.
+const TargetName = "isasim"
+
+func init() {
+	core.RegisterTarget(target{})
+}
+
+type target struct{}
+
+func (target) Name() string { return TargetName }
+func (target) Description() string {
+	return "architectural differential pair over the ISA-level golden model (cheap smoke target)"
+}
+
+// Kind returns the stimulus personality. Stimuli are generated as if for
+// the BOOM-like core; the architectural simulator executes the same RV64
+// subset either way.
+func (target) Kind() uarch.CoreKind { return uarch.KindBOOM }
+
+func (target) NewPipeline(f *core.Fuzzer) core.Pipeline {
+	return pipeline{opts: f.Options()}
+}
+
+type pipeline struct {
+	opts core.Options
+}
+
+// archRun is one architectural execution of a swap schedule.
+type archRun struct {
+	sim *isasim.Sim
+	// traps is the swap-scheduling trap sequence (cause, EPC) in order.
+	traps []isasim.Trap
+	// regSnaps is the integer register file at every packet boundary
+	// (trap), time-resolving where secret-derived divergence appears.
+	regSnaps [][32]uint64
+	// packets counts packets entered (the last is the transient packet).
+	packets int
+}
+
+// runSchedule drives one isasim instance through a swap schedule, mirroring
+// swapmem.Runtime's trap-hook scheduling without the microarchitectural
+// core: any trap ends the current packet, remaining packets load in order,
+// and the run halts when the schedule drains or the budget is exhausted.
+func runSchedule(sched *swapmem.Schedule, secret []byte, budget int) *archRun {
+	space := swapmem.NewSpace(secret)
+	run := &archRun{}
+	idx := 0
+	load := func(st swapmem.Step) uint64 {
+		for _, pu := range st.PrePerm {
+			// Region names come from the canonical layout; errors cannot
+			// occur for generator-built schedules.
+			_ = space.SetPerm(pu.Region, pu.Perm)
+		}
+		zero := make([]byte, swapmem.SwapSize)
+		space.WriteRaw(swapmem.SwapBase, zero)
+		img := st.Packet.Image
+		space.WriteRaw(img.Base, img.Bytes())
+		run.packets++
+		return st.Packet.Entry
+	}
+	if len(sched.Steps) == 0 {
+		run.sim = isasim.New(space, swapmem.SharedBase)
+		return run
+	}
+	sim := isasim.New(space, load(sched.Steps[0]))
+	idx = 1
+	sim.TrapHook = func(t isasim.Trap) isasim.TrapAction {
+		run.traps = append(run.traps, t)
+		run.regSnaps = append(run.regSnaps, sim.X)
+		if idx >= len(sched.Steps) {
+			return isasim.TrapAction{Halt: true}
+		}
+		entry := load(sched.Steps[idx])
+		idx++
+		return isasim.TrapAction{NewPC: entry}
+	}
+	sim.Run(budget)
+	run.sim = sim
+	return run
+}
+
+// controlFlowDiverged reports whether two runs took secret-dependent paths:
+// different trap sequences or retirement counts.
+func controlFlowDiverged(a, b *archRun) bool {
+	if a.sim.Instret != b.sim.Instret || len(a.traps) != len(b.traps) {
+		return true
+	}
+	for i := range a.traps {
+		if a.traps[i].Cause != b.traps[i].Cause || a.traps[i].EPC != b.traps[i].EPC {
+			return true
+		}
+	}
+	return false
+}
+
+// dataLineBytes is the granularity at which divergent data memory is mapped
+// onto coverage points.
+const dataLineBytes = 64
+
+// divergenceSamples maps the pair's architectural divergence onto coverage
+// samples: one per differing integer register at each packet boundary and
+// at halt (weighted by differing bits, positioned by boundary index), and
+// one per differing data-region line. Registers and memory that diverge do
+// so only because the secrets differ, so each sample is a distinct
+// (channel, schedule position) the secret reached — a stimulus that never
+// touches the secret contributes no coverage at all.
+func divergenceSamples(a, b *archRun) []uarch.TaintSample {
+	var out []uarch.TaintSample
+	snaps := len(a.regSnaps)
+	if len(b.regSnaps) < snaps {
+		snaps = len(b.regSnaps)
+	}
+	for k := 0; k < snaps; k++ {
+		for r := 1; r < 32; r++ {
+			if x := a.regSnaps[k][r] ^ b.regSnaps[k][r]; x != 0 {
+				// The boundary position goes into the module name (the
+				// count field clamps at the matrix's slot cap), so
+				// divergence at a new schedule position is a new point.
+				out = append(out, uarch.TaintSample{
+					Module:  fmt.Sprintf("%s@p%d", regModules[r], k),
+					Tainted: bits.OnesCount64(x),
+				})
+			}
+		}
+	}
+	for r := 1; r < 32; r++ {
+		if x := a.sim.X[r] ^ b.sim.X[r]; x != 0 {
+			out = append(out, uarch.TaintSample{Module: regModules[r], Tainted: bits.OnesCount64(x)})
+		}
+	}
+	la := a.sim.Mem.ReadRaw(swapmem.DataBase, swapmem.DataSize)
+	lb := b.sim.Mem.ReadRaw(swapmem.DataBase, swapmem.DataSize)
+	for off := 0; off < swapmem.DataSize; off += dataLineBytes {
+		if !bytes.Equal(la[off:off+dataLineBytes], lb[off:off+dataLineBytes]) {
+			out = append(out, uarch.TaintSample{Module: "isasim/data", Tainted: off/dataLineBytes + 1})
+		}
+	}
+	return out
+}
+
+// regModules pre-renders the per-register coverage module names.
+var regModules = func() [32]string {
+	var names [32]string
+	for r := range names {
+		names[r] = "isasim/x" + string(rune('0'+r/10)) + string(rune('0'+r%10))
+	}
+	return names
+}()
+
+// RunIteration executes one architectural differential iteration: build the
+// completed stimulus (window training architecturally touches the secret,
+// exactly as in the uarch Phase-2 differential run), execute it on the
+// coupled pair, fold divergence observables into the coverage sink, and
+// flag control-flow divergence as an architectural leak finding.
+func (p pipeline) RunIteration(iter int, seed gen.Seed, sink core.CovSink) core.Outcome {
+	out := core.Outcome{}
+	g := gen.New(seed.Rand)
+	st, err := g.BuildStimulus(seed)
+	if err != nil {
+		return out
+	}
+	cst, err := g.CompleteWindow(st)
+	if err != nil {
+		return out
+	}
+	sched := cst.BuildSchedule(nil)
+	budget := p.opts.MaxCycles
+	if budget <= 0 {
+		budget = 20000
+	}
+	secret := core.DefaultSecret
+	a := runSchedule(sched.Clone(), secret, budget)
+	b := runSchedule(sched.Clone(), swapmem.FlipSecret(secret), budget)
+	out.Sims = 2
+	out.Measured = true
+
+	// Triggered: the planned trigger instruction architecturally trapped
+	// (exception-class windows). Misprediction windows have no architectural
+	// signature, so they report untriggered here — honest for an ISA model.
+	for _, t := range a.traps {
+		if t.EPC == st.TriggerPC {
+			out.Triggered = true
+			break
+		}
+	}
+
+	out.NewPoints = sink.AddFromLog(divergenceSamples(a, b))
+	out.TaintGain = out.NewPoints > 0
+
+	if controlFlowDiverged(a, b) {
+		out.Finding = &core.Finding{
+			Kind:       core.FindingTiming,
+			AttackType: "ArchLeak",
+			Window:     seed.Trigger,
+			Components: []string{"isasim"},
+			Seed:       seed,
+		}
+	}
+	return out
+}

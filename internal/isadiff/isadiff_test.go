@@ -1,0 +1,80 @@
+package isadiff
+
+import (
+	"reflect"
+	"testing"
+
+	"dejavuzz/internal/core"
+)
+
+func isadiffOpts(workers int) core.Options {
+	t, err := core.LookupTarget(TargetName)
+	if err != nil {
+		panic(err)
+	}
+	opts := core.DefaultOptionsFor(t)
+	opts.Seed = 11
+	opts.Iterations = 48
+	opts.Workers = workers
+	opts.MergeEvery = 16
+	return opts
+}
+
+func TestTargetRegistered(t *testing.T) {
+	tgt, err := core.LookupTarget(TargetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Name() != TargetName {
+		t.Fatalf("registered name %q", tgt.Name())
+	}
+	found := false
+	for _, name := range core.Targets() {
+		if name == TargetName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Targets() = %v missing %q", core.Targets(), TargetName)
+	}
+}
+
+// TestCampaignRunsOnISATarget proves the target seam end to end: a full
+// campaign over the architectural pair collects coverage through the same
+// engine, and the determinism guarantee (Workers never change results)
+// holds for a non-uarch pipeline too.
+func TestCampaignRunsOnISATarget(t *testing.T) {
+	ref := core.NewFuzzer(isadiffOpts(1)).Run()
+	if len(ref.Iters) != 48 {
+		t.Fatalf("ran %d iterations", len(ref.Iters))
+	}
+	if ref.Coverage == 0 {
+		t.Fatal("architectural differential campaign collected no coverage")
+	}
+	// A well-formed stimulus never branches on the secret architecturally.
+	if len(ref.Findings) != 0 {
+		t.Errorf("architectural control-flow divergence reported: %v", ref.Findings[0])
+	}
+	par := core.NewFuzzer(isadiffOpts(8)).Run()
+	if !reflect.DeepEqual(ref.CoverageHistory(), par.CoverageHistory()) {
+		t.Error("coverage history diverges across worker counts")
+	}
+	if ref.Coverage != par.Coverage {
+		t.Errorf("coverage %d vs %d across worker counts", ref.Coverage, par.Coverage)
+	}
+}
+
+// TestExceptionTriggersObservable checks the architectural trigger
+// criterion fires for at least one exception-class stimulus in a campaign.
+func TestExceptionTriggersObservable(t *testing.T) {
+	rep := core.NewFuzzer(isadiffOpts(1)).Run()
+	triggered := 0
+	for _, it := range rep.Iters {
+		if it.Triggered {
+			triggered++
+		}
+	}
+	if triggered == 0 {
+		t.Error("no iteration reported an architecturally-observed trigger")
+	}
+}
