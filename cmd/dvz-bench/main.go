@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"dejavuzz"
+	"dejavuzz/internal/triage"
 )
 
 // Result is the BENCH_campaign.json schema.
@@ -39,6 +41,12 @@ type Result struct {
 	// which is comparable across PRs for the same seed.
 	CoverageAt map[string]int `json:"coverage_at"`
 	Findings   int            `json:"findings"`
+	// TriageFindingsPerSec is raw-finding throughput through a persistent
+	// triage store (one Add + atomic save per finding, the server's
+	// streaming pattern); TriagedBugs is what the campaign's findings
+	// dedup down to.
+	TriageFindingsPerSec float64 `json:"triage_findings_per_sec"`
+	TriagedBugs          int     `json:"triaged_bugs"`
 }
 
 func run(target string, seed int64, n, workers int) (*dejavuzz.Report, float64, error) {
@@ -54,6 +62,33 @@ func run(target string, seed int64, n, workers int) (*dejavuzz.Report, float64, 
 	start := time.Now()
 	rep := c.Run()
 	return rep, float64(n) / time.Since(start).Seconds(), nil
+}
+
+// benchTriage measures finding throughput through a persistent triage
+// store: every finding is added individually (the per-barrier streaming
+// pattern dvz-server uses) with an atomic file save each time.
+func benchTriage(target string, seed int64, findings []dejavuzz.Finding) (perSec float64, bugs int, err error) {
+	dir, err := os.MkdirTemp("", "dvz-bench-triage-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := triage.Open(filepath.Join(dir, "findings.json"))
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for _, f := range findings {
+		if _, _, err := store.Add("bench", target, seed, f); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	_, bugs = store.Stats()
+	if elapsed > 0 {
+		perSec = float64(len(findings)) / elapsed
+	}
+	return perSec, bugs, nil
 }
 
 func main() {
@@ -99,6 +134,12 @@ func main() {
 		}
 	}
 
+	res.TriageFindingsPerSec, res.TriagedBugs, err = benchTriage(*target, *seed, rep1.Findings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	data, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,6 +149,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), coverage=%d\n",
-		*out, ips1, ips8, res.Speedup, rep1.Coverage)
+	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), coverage=%d, triage=%.0f findings/s -> %d bugs\n",
+		*out, ips1, ips8, res.Speedup, rep1.Coverage, res.TriageFindingsPerSec, res.TriagedBugs)
 }

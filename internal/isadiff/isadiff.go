@@ -164,7 +164,20 @@ func divergenceSamples(a, b *archRun) []uarch.TaintSample {
 	lb := b.sim.Mem.ReadRaw(swapmem.DataBase, swapmem.DataSize)
 	for off := 0; off < swapmem.DataSize; off += dataLineBytes {
 		if !bytes.Equal(la[off:off+dataLineBytes], lb[off:off+dataLineBytes]) {
-			out = append(out, uarch.TaintSample{Module: "isasim/data", Tainted: off/dataLineBytes + 1})
+			// The line position goes into the module name, like the register
+			// samples above: encoding it in the count would collapse every
+			// line past the matrix's slot cap onto one point. The count is
+			// the divergence weight (differing bytes, always < the cap).
+			diff := 0
+			for i := 0; i < dataLineBytes; i++ {
+				if la[off+i] != lb[off+i] {
+					diff++
+				}
+			}
+			out = append(out, uarch.TaintSample{
+				Module:  fmt.Sprintf("isasim/data@l%d", off/dataLineBytes),
+				Tainted: diff,
+			})
 		}
 	}
 	return out

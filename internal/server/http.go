@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dejavuzz"
+	"dejavuzz/internal/triage"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /campaigns                create a campaign ({"name","options"})
+//	GET  /campaigns                list campaigns
+//	GET  /campaigns/{id}           one campaign's status
+//	GET  /campaigns/{id}/events    live event stream (NDJSON; SSE with
+//	                               Accept: text/event-stream)
+//	GET  /campaigns/{id}/report    completed campaign's full report
+//	POST /campaigns/{id}/pause     checkpoint at the next barrier and park
+//	POST /campaigns/{id}/resume    re-queue a paused campaign
+//	POST /campaigns/{id}/cancel    terminally stop
+//	GET  /findings[?target=t]      aggregated triage view (deduped bugs)
+//	GET  /healthz                  liveness + campaign counts
+//	GET  /metrics                  Prometheus-style text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleCreate)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("POST /campaigns/{id}/pause", s.handlePause)
+	mux.HandleFunc("POST /campaigns/{id}/resume", s.handleResume)
+	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /findings", s.handleFindings)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report
+}
+
+// writeErr maps service errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// createRequest is the create-campaign payload. Options is the wire form of
+// dejavuzz.Options — see its docs for the field set and the seed/iterations
+// explicit-zero convention.
+type createRequest struct {
+	Name    string           `json:"name"`
+	Options dejavuzz.Options `json:"options"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	rec, err := s.Create(req.Name, req.Options)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, rec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Campaigns []Record `json:"campaigns"`
+	}{s.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Pause(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.ResumeCampaign(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Report(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// wireEvent is the streamed form of one session event (or the initial
+// status snapshot every stream opens with).
+type wireEvent struct {
+	Kind     string            `json:"kind"`
+	Done     int               `json:"done"`
+	Total    int               `json:"total"`
+	Coverage int               `json:"coverage"`
+	Finding  *dejavuzz.Finding `json:"finding,omitempty"`
+	Path     string            `json:"path,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	State    State             `json:"state,omitempty"` // status snapshots only
+}
+
+func toWireEvent(ev dejavuzz.Event) wireEvent {
+	we := wireEvent{
+		Kind:     ev.Kind.String(),
+		Done:     ev.Done,
+		Total:    ev.Total,
+		Coverage: ev.Coverage,
+		Finding:  ev.Finding,
+		Path:     ev.Path,
+	}
+	if ev.Err != nil {
+		we.Error = ev.Err.Error()
+	}
+	return we
+}
+
+// handleEvents streams a campaign's live session events. The default
+// framing is NDJSON (one event object per line); clients sending
+// Accept: text/event-stream get Server-Sent Events instead. Every stream
+// opens with a "status" snapshot, so subscribing to a finished (or queued)
+// campaign yields exactly that one frame. Delivery is best-effort live
+// observation — the server's own triage/status consumption is lossless
+// independently of any stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec, ch, cancelSub, err := s.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer cancelSub()
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	send := func(we wireEvent) bool {
+		data, err := json.Marshal(we)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", we.Kind, data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	send(wireEvent{Kind: "status", State: rec.State, Done: rec.Done, Total: rec.Total, Coverage: rec.Coverage})
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !send(toWireEvent(ev)) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// findingsResponse is the aggregated triage view.
+type findingsResponse struct {
+	// RawFindings counts every finding campaigns ever reported, duplicates
+	// included; Bugs is what they collapse to.
+	RawFindings int          `json:"raw_findings"`
+	BugCount    int          `json:"bug_count"`
+	Bugs        []triage.Bug `json:"bugs"`
+}
+
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	bugs, raw := s.Findings(r.URL.Query().Get("target"))
+	if bugs == nil {
+		bugs = []triage.Bug{}
+	}
+	writeJSON(w, http.StatusOK, findingsResponse{RawFindings: raw, BugCount: len(bugs), Bugs: bugs})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Status        string        `json:"status"`
+		UptimeSeconds float64       `json:"uptime_seconds"`
+		WorkersBudget int           `json:"workers_budget"`
+		WorkersInUse  int           `json:"workers_in_use"`
+		Queued        int           `json:"queued"`
+		Campaigns     map[State]int `json:"campaigns"`
+	}{"ok", st.Uptime.Seconds(), st.WorkersBudget, st.WorkersInUse, st.Queued, st.ByState})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP dvz_uptime_seconds Server uptime.\ndvz_uptime_seconds %f\n", st.Uptime.Seconds())
+	fmt.Fprintf(w, "# HELP dvz_workers_budget Shared worker budget.\ndvz_workers_budget %d\n", st.WorkersBudget)
+	fmt.Fprintf(w, "# HELP dvz_workers_in_use Worker slots held by running campaigns.\ndvz_workers_in_use %d\n", st.WorkersInUse)
+	fmt.Fprintf(w, "# HELP dvz_campaigns Campaigns by state.\n")
+	for _, state := range []State{StateQueued, StateRunning, StatePaused, StateDone, StateCancelled, StateFailed} {
+		fmt.Fprintf(w, "dvz_campaigns{state=%q} %d\n", state, st.ByState[state])
+	}
+	fmt.Fprintf(w, "# HELP dvz_iterations_total Completed fuzzing iterations across all campaigns.\ndvz_iterations_total %d\n", st.Iterations)
+	fmt.Fprintf(w, "# HELP dvz_findings_raw_total Raw findings before triage.\ndvz_findings_raw_total %d\n", st.RawFindings)
+	fmt.Fprintf(w, "# HELP dvz_findings_bugs Deduplicated triaged bugs.\ndvz_findings_bugs %d\n", st.TriagedBugs)
+}

@@ -1,0 +1,723 @@
+// Package server is the multi-tenant campaign service: it schedules any
+// number of concurrently requested fuzzing campaigns over one bounded
+// shared worker budget, streams their session events to any number of
+// observers, triages their findings into the deduplicated bug store
+// (internal/triage), and persists everything — campaign registry, per-
+// campaign barrier checkpoints, final reports, triaged findings — under one
+// state directory so a SIGTERM'd server restarts exactly where it stopped:
+// every active campaign is checkpointed at its next merge barrier on
+// shutdown and automatically resumed (byte-identically, modulo wall-clock
+// fields) on the next start.
+//
+// The package exposes the service both as a Go API (Open/Create/Pause/...)
+// and as an HTTP API (Handler); cmd/dvz-server is the thin binary around
+// them.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dejavuzz"
+	"dejavuzz/internal/atomicfile"
+	"dejavuzz/internal/triage"
+)
+
+// State is a campaign's lifecycle state.
+type State string
+
+const (
+	// StateQueued: waiting for worker-budget admission (fresh, resumed
+	// after a restart, or user-resumed after a pause).
+	StateQueued State = "queued"
+	// StateRunning: session live, consuming workers.
+	StateRunning State = "running"
+	// StatePaused: user-paused at a merge barrier; a checkpoint on disk
+	// resumes it.
+	StatePaused State = "paused"
+	// StateDone: completed; the report is on disk.
+	StateDone State = "done"
+	// StateCancelled: terminally stopped by the user.
+	StateCancelled State = "cancelled"
+	// StateFailed: could not be built or launched (see Record.Error).
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Record is the persisted, client-visible snapshot of one campaign.
+type Record struct {
+	ID      string           `json:"id"`
+	Name    string           `json:"name,omitempty"`
+	Target  string           `json:"target"`
+	Options dejavuzz.Options `json:"options"`
+	State   State            `json:"state"`
+	// Stopping is the in-flight stop intent ("pause", "cancel",
+	// "shutdown") between the request and the next merge barrier.
+	Stopping string    `json:"stopping,omitempty"`
+	Created  time.Time `json:"created"`
+	// Done/Total are completed and total campaign iterations; Coverage is
+	// the merged coverage point count — all as of the latest merge barrier.
+	Done     int `json:"done"`
+	Total    int `json:"total"`
+	Coverage int `json:"coverage"`
+	// Findings counts raw (pre-triage) findings this campaign reported.
+	Findings int    `json:"findings"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Stop intents (Record.Stopping / campaign.stop).
+const (
+	stopPause    = "pause"
+	stopCancel   = "cancel"
+	stopShutdown = "shutdown"
+)
+
+// Service errors, mapped onto HTTP statuses by the handlers.
+var (
+	// ErrNotFound: no campaign with that ID.
+	ErrNotFound = errors.New("server: campaign not found")
+	// ErrConflict: the campaign's state does not admit the transition.
+	ErrConflict = errors.New("server: invalid state for operation")
+	// ErrShuttingDown: the server no longer accepts work.
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// registryVersion guards campaigns.json against format drift.
+const registryVersion = 1
+
+// registryFile is the on-disk campaign registry.
+type registryFile struct {
+	Version   int      `json:"version"`
+	NextID    int      `json:"next_id"`
+	Campaigns []Record `json:"campaigns"`
+}
+
+// campaign is the server-side state of one campaign.
+type campaign struct {
+	rec     Record
+	sess    *dejavuzz.Session
+	cancel  context.CancelFunc
+	stop    string // pending stop intent, "" when none
+	workers int    // budget slots held while running
+}
+
+// Config configures Open.
+type Config struct {
+	// StateDir holds campaigns.json, findings.json, and per-campaign
+	// checkpoint/report files. It is created if missing.
+	StateDir string
+	// Workers is the shared worker budget campaigns are admitted against
+	// (default 1). A campaign consumes min(its Workers option, budget)
+	// slots while running; campaigns that do not fit wait in FIFO order.
+	Workers int
+	// Log receives service logs; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the campaign service. All methods are safe for concurrent use.
+type Server struct {
+	stateDir string
+	budget   int
+	log      *log.Logger
+	store    *triage.Store
+	started  time.Time
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // creation order, for stable listings
+	nextID    int
+	queue     []string // FIFO admission queue of campaign IDs
+	inUse     int      // worker slots held by running campaigns
+	closed    bool
+	wg        sync.WaitGroup // live campaign goroutines
+}
+
+// Open starts the service over a state directory, creating it if needed,
+// and automatically re-queues every campaign that was queued or running
+// when the previous server stopped — each resumes from its latest barrier
+// checkpoint. Paused campaigns stay paused; terminal ones are listed as-is.
+func Open(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("server: Config.StateDir is required")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	budget := cfg.Workers
+	if budget <= 0 {
+		budget = 1
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.New(nullWriter{}, "", 0)
+	}
+	store, err := triage.Open(filepath.Join(cfg.StateDir, "findings.json"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		stateDir:  cfg.StateDir,
+		budget:    budget,
+		log:       logger,
+		store:     store,
+		started:   time.Now(),
+		campaigns: make(map[string]*campaign),
+	}
+	if err := s.loadRegistry(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.schedule()
+	s.mu.Unlock()
+	return s, nil
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// loadRegistry restores campaigns.json and re-queues interrupted work.
+func (s *Server) loadRegistry() error {
+	path := s.registryPath()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: read registry: %w", err)
+	}
+	var reg registryFile
+	if err := json.Unmarshal(data, &reg); err != nil {
+		return fmt.Errorf("server: parse registry %s: %w", path, err)
+	}
+	if reg.Version != registryVersion {
+		return fmt.Errorf("server: registry %s has version %d, want %d", path, reg.Version, registryVersion)
+	}
+	s.nextID = reg.NextID
+	for _, rec := range reg.Campaigns {
+		rec.Stopping = ""
+		if rec.State == StateRunning || rec.State == StateQueued {
+			// Interrupted by the previous shutdown (or crash): resume from
+			// the latest barrier checkpoint, fresh if none was taken.
+			rec.State = StateQueued
+			s.queue = append(s.queue, rec.ID)
+			s.log.Printf("campaign %s: re-queued for resume (%d/%d iterations done)", rec.ID, rec.Done, rec.Total)
+		}
+		s.campaigns[rec.ID] = &campaign{rec: rec}
+		s.order = append(s.order, rec.ID)
+	}
+	return nil
+}
+
+func (s *Server) registryPath() string { return filepath.Join(s.stateDir, "campaigns.json") }
+func (s *Server) checkpointPath(id string) string {
+	return filepath.Join(s.stateDir, id+".ckpt.json")
+}
+func (s *Server) reportPath(id string) string {
+	return filepath.Join(s.stateDir, id+".report.json")
+}
+
+// persistLocked atomically rewrites campaigns.json. Callers hold s.mu.
+func (s *Server) persistLocked() error {
+	reg := registryFile{Version: registryVersion, NextID: s.nextID}
+	for _, id := range s.order {
+		reg.Campaigns = append(reg.Campaigns, s.campaigns[id].rec)
+	}
+	data, err := json.Marshal(&reg)
+	if err != nil {
+		return fmt.Errorf("server: encode registry: %w", err)
+	}
+	if err := atomicfile.Write(s.registryPath(), data); err != nil {
+		return fmt.Errorf("server: write registry: %w", err)
+	}
+	return nil
+}
+
+// Create registers a new campaign and queues it for admission. The options
+// are validated eagerly (unknown target or variant fails here, not
+// asynchronously), so a returned Record is guaranteed runnable.
+func (s *Server) Create(name string, o dejavuzz.Options) (Record, error) {
+	if _, err := o.Campaign(); err != nil {
+		return Record{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Record{}, ErrShuttingDown
+	}
+	s.nextID++
+	id := fmt.Sprintf("c%d", s.nextID)
+	rec := Record{
+		ID:      id,
+		Name:    name,
+		Target:  o.EffectiveTarget(),
+		Options: o,
+		State:   StateQueued,
+		Created: time.Now().UTC(),
+		Total:   o.EffectiveIterations(),
+	}
+	cs := &campaign{rec: rec}
+	s.campaigns[id] = cs
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, id)
+	if err := s.persistLocked(); err != nil {
+		// Roll back entirely: returning an error alongside a live campaign
+		// would make client retries spawn duplicates.
+		delete(s.campaigns, id)
+		s.order = s.order[:len(s.order)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.nextID--
+		return Record{}, err
+	}
+	s.schedule()
+	s.log.Printf("campaign %s: created (target=%s, %d iterations)", id, rec.Target, rec.Total)
+	return cs.rec, nil
+}
+
+// workersFor is the budget cost of running a campaign: its Workers option
+// clamped to [1, budget], so one oversized request degrades instead of
+// starving the queue forever.
+func (s *Server) workersFor(o dejavuzz.Options) int {
+	w := o.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > s.budget {
+		w = s.budget
+	}
+	return w
+}
+
+// schedule admits queued campaigns in FIFO order while budget remains.
+// Callers hold s.mu.
+func (s *Server) schedule() {
+	if s.closed {
+		return
+	}
+	for len(s.queue) > 0 {
+		cs := s.campaigns[s.queue[0]]
+		w := s.workersFor(cs.rec.Options)
+		if s.inUse+w > s.budget {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.inUse += w
+		cs.workers = w
+		cs.rec.State = StateRunning
+		s.wg.Add(1)
+		go s.run(cs)
+	}
+}
+
+// run executes one campaign from launch to its next terminal or parked
+// state: it builds the session (resuming from the on-disk checkpoint when
+// one exists), drains the authoritative event stream into the record and
+// the triage store, and on exit releases the worker slots and persists the
+// outcome.
+func (s *Server) run(cs *campaign) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	id := cs.rec.ID
+	ckptPath := s.checkpointPath(id)
+	c, err := cs.rec.Options.Campaign(dejavuzz.WithCheckpointFile(ckptPath))
+	if err != nil {
+		s.finish(cs, nil, err)
+		return
+	}
+	var sess *dejavuzz.Session
+	resumedFrom := -1
+	if _, statErr := os.Stat(ckptPath); statErr == nil {
+		ck, err := dejavuzz.LoadCheckpoint(ckptPath)
+		if err == nil {
+			resumedFrom, _ = ck.Progress()
+			sess, err = c.Resume(ctx, ck)
+		}
+		if err != nil {
+			s.finish(cs, nil, fmt.Errorf("resume from %s: %w", ckptPath, err))
+			return
+		}
+	} else {
+		sess, err = c.Start(ctx)
+		if err != nil {
+			s.finish(cs, nil, err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	cs.sess = sess
+	cs.cancel = cancel
+	if resumedFrom >= 0 {
+		cs.rec.Done = resumedFrom
+		s.log.Printf("campaign %s: resumed from checkpoint at iteration %d", id, resumedFrom)
+	} else {
+		s.log.Printf("campaign %s: started (workers=%d of budget %d)", id, cs.workers, s.budget)
+	}
+	if err := s.persistLocked(); err != nil {
+		s.log.Printf("campaign %s: persist: %v", id, err)
+	}
+	stopRequested := cs.stop != ""
+	s.mu.Unlock()
+	if stopRequested {
+		// A pause/cancel/shutdown raced launch: honour it now that cancel
+		// is wired (the session stops at its first barrier).
+		cancel()
+	}
+
+	target := cs.rec.Target
+	seed := cs.rec.Options.EffectiveSeed()
+	for ev := range sess.Events() {
+		switch ev.Kind {
+		case dejavuzz.EventEpoch:
+			s.mu.Lock()
+			cs.rec.Done, cs.rec.Total, cs.rec.Coverage = ev.Done, ev.Total, ev.Coverage
+			if err := s.persistLocked(); err != nil {
+				s.log.Printf("campaign %s: persist: %v", id, err)
+			}
+			s.mu.Unlock()
+		case dejavuzz.EventFinding:
+			// The record's raw-finding count follows the store's idempotent
+			// occurrence accounting, so a barrier replayed after an unclean
+			// restart (checkpoint older than the store) cannot inflate it.
+			added, _, err := s.store.Add(id, target, seed, *ev.Finding)
+			if err != nil {
+				s.log.Printf("campaign %s: triage store: %v", id, err)
+			}
+			s.mu.Lock()
+			cs.rec.Findings += added
+			s.mu.Unlock()
+		case dejavuzz.EventCheckpointSaved:
+			if ev.Err != nil {
+				s.log.Printf("campaign %s: checkpoint autosave: %v", id, ev.Err)
+			}
+		}
+	}
+	rep, _ := sess.Wait()
+	s.finish(cs, rep, nil)
+}
+
+// finish parks a campaign after its session (or launch attempt) ends:
+// records the outcome, releases worker slots and admits queued work.
+func (s *Server) finish(cs *campaign, rep *dejavuzz.Report, launchErr error) {
+	id := cs.rec.ID
+	var saveErr error
+	if rep != nil {
+		data, err := json.Marshal(rep)
+		if err == nil {
+			err = atomicfile.Write(s.reportPath(id), data)
+		}
+		saveErr = err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inUse -= cs.workers
+	cs.workers = 0
+	cs.sess = nil
+	cs.cancel = nil
+	stop := cs.stop
+	cs.stop = ""
+	cs.rec.Stopping = ""
+	switch {
+	case launchErr != nil:
+		cs.rec.State = StateFailed
+		cs.rec.Error = launchErr.Error()
+		s.log.Printf("campaign %s: failed: %v", id, launchErr)
+	case rep != nil:
+		cs.rec.State = StateDone
+		cs.rec.Done = cs.rec.Total
+		cs.rec.Coverage = rep.Coverage
+		if saveErr != nil {
+			cs.rec.Error = fmt.Sprintf("save report: %v", saveErr)
+			s.log.Printf("campaign %s: save report: %v", id, saveErr)
+		}
+		// The checkpoint has served its purpose; the report supersedes it.
+		os.Remove(s.checkpointPath(id))
+		s.log.Printf("campaign %s: done (%d findings, coverage=%d)", id, len(rep.Findings), rep.Coverage)
+	case stop == stopPause:
+		cs.rec.State = StatePaused
+		s.log.Printf("campaign %s: paused at iteration %d", id, cs.rec.Done)
+	case stop == stopCancel:
+		cs.rec.State = StateCancelled
+		s.log.Printf("campaign %s: cancelled at iteration %d", id, cs.rec.Done)
+	default:
+		// Shutdown interrupt: the barrier checkpoint is on disk and the
+		// next Open re-queues the campaign automatically.
+		cs.rec.State = StateQueued
+		s.log.Printf("campaign %s: checkpointed for restart at iteration %d", id, cs.rec.Done)
+	}
+	if err := s.persistLocked(); err != nil {
+		s.log.Printf("campaign %s: persist: %v", id, err)
+	}
+	s.schedule()
+}
+
+// List returns every campaign record in creation order.
+func (s *Server) List() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.campaigns[id].rec)
+	}
+	return out
+}
+
+// Get returns one campaign record.
+func (s *Server) Get(id string) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return cs.rec, nil
+}
+
+// Pause stops a campaign at its next merge barrier (running) or pulls it
+// from the admission queue (queued), leaving a resumable checkpoint. The
+// transition of a running campaign is asynchronous: the returned record
+// shows Stopping="pause" until the barrier lands.
+func (s *Server) Pause(id string) (Record, error) {
+	s.mu.Lock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		s.mu.Unlock()
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch cs.rec.State {
+	case StateRunning:
+		if cs.stop == "" {
+			cs.stop = stopPause
+			cs.rec.Stopping = stopPause
+		}
+		cancel := cs.cancel
+		rec := cs.rec
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return rec, nil
+	case StateQueued:
+		s.dequeueLocked(id)
+		cs.rec.State = StatePaused
+		err := s.persistLocked()
+		rec := cs.rec
+		s.mu.Unlock()
+		return rec, err
+	default:
+		rec := cs.rec
+		s.mu.Unlock()
+		return rec, fmt.Errorf("%w: cannot pause %s campaign %s", ErrConflict, rec.State, id)
+	}
+}
+
+// ResumeCampaign re-queues a paused campaign; it continues from its
+// checkpoint (fresh when it was paused before the first barrier).
+func (s *Server) ResumeCampaign(id string) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if s.closed {
+		return cs.rec, ErrShuttingDown
+	}
+	if cs.rec.State != StatePaused {
+		return cs.rec, fmt.Errorf("%w: cannot resume %s campaign %s", ErrConflict, cs.rec.State, id)
+	}
+	cs.rec.State = StateQueued
+	s.queue = append(s.queue, id)
+	err := s.persistLocked()
+	s.schedule()
+	return cs.rec, err
+}
+
+// Cancel terminally stops a campaign: a running one stops at its next
+// barrier (Stopping="cancel" until then), a queued or paused one is
+// cancelled immediately. Cancelled campaigns cannot be resumed.
+func (s *Server) Cancel(id string) (Record, error) {
+	s.mu.Lock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		s.mu.Unlock()
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch cs.rec.State {
+	case StateRunning:
+		// Overrides a pending pause: cancel is the stronger intent.
+		cs.stop = stopCancel
+		cs.rec.Stopping = stopCancel
+		cancel := cs.cancel
+		rec := cs.rec
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return rec, nil
+	case StateQueued, StatePaused:
+		s.dequeueLocked(id)
+		cs.rec.State = StateCancelled
+		err := s.persistLocked()
+		rec := cs.rec
+		s.mu.Unlock()
+		return rec, err
+	default:
+		rec := cs.rec
+		s.mu.Unlock()
+		return rec, fmt.Errorf("%w: cannot cancel %s campaign %s", ErrConflict, rec.State, id)
+	}
+}
+
+// dequeueLocked removes id from the admission queue if present.
+func (s *Server) dequeueLocked(id string) {
+	for i, q := range s.queue {
+		if q == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Subscribe attaches a live event observer to a campaign's session (see
+// dejavuzz.Session.Subscribe). The record snapshot is returned alongside;
+// for campaigns that are not running, the channel is nil and the snapshot
+// is all there is to stream.
+func (s *Server) Subscribe(id string) (Record, <-chan dejavuzz.Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return Record{}, nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if cs.sess == nil {
+		return cs.rec, nil, func() {}, nil
+	}
+	ch, cancel := cs.sess.Subscribe(0)
+	return cs.rec, ch, cancel, nil
+}
+
+// Report loads a completed campaign's report from the state directory.
+func (s *Server) Report(id string) (*dejavuzz.Report, error) {
+	s.mu.Lock()
+	cs, ok := s.campaigns[id]
+	var state State
+	if ok {
+		state = cs.rec.State
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if state != StateDone {
+		return nil, fmt.Errorf("%w: campaign %s is %s, not done", ErrConflict, id, state)
+	}
+	data, err := os.ReadFile(s.reportPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("server: read report: %w", err)
+	}
+	rep := &dejavuzz.Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("server: parse report: %w", err)
+	}
+	return rep, nil
+}
+
+// Findings returns the aggregated triage view, optionally filtered to one
+// target: the deduplicated bug clusters plus the raw-finding total.
+func (s *Server) Findings(target string) (bugs []triage.Bug, raw int) {
+	raw, _ = s.store.Stats()
+	all := s.store.Bugs()
+	if target == "" {
+		return all, raw
+	}
+	for _, b := range all {
+		if b.Target == target {
+			bugs = append(bugs, b)
+		}
+	}
+	return bugs, raw
+}
+
+// Stats is the service health/metrics snapshot.
+type Stats struct {
+	Uptime        time.Duration
+	WorkersBudget int
+	WorkersInUse  int
+	Queued        int
+	ByState       map[State]int
+	Iterations    int // completed iterations across all campaigns
+	RawFindings   int
+	TriagedBugs   int
+}
+
+// Snapshot gathers current service statistics.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Uptime:        time.Since(s.started),
+		WorkersBudget: s.budget,
+		WorkersInUse:  s.inUse,
+		Queued:        len(s.queue),
+		ByState:       make(map[State]int),
+	}
+	for _, cs := range s.campaigns {
+		st.ByState[cs.rec.State]++
+		st.Iterations += cs.rec.Done
+	}
+	s.mu.Unlock()
+	st.RawFindings, st.TriagedBugs = s.store.Stats()
+	return st
+}
+
+// Shutdown gracefully stops the service: no new campaigns are accepted,
+// every running campaign is cancelled so it checkpoints at its next merge
+// barrier, and the registry records them as queued so the next Open resumes
+// them automatically. It returns once every campaign goroutine has parked,
+// or with the context's error if that takes too long (checkpoints written
+// so far remain valid either way).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for _, cs := range s.campaigns {
+		// Mark every running campaign, including ones still mid-launch
+		// (cancel not wired yet) — their run goroutine checks the intent
+		// right after wiring and cancels itself.
+		if cs.rec.State == StateRunning && cs.stop == "" {
+			cs.stop = stopShutdown
+			cs.rec.Stopping = stopShutdown
+		}
+		if cs.cancel != nil {
+			cs.cancel()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistLocked()
+}

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dejavuzz"
+)
+
+func openTestServer(t *testing.T, stateDir string, workers int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := Open(Config{StateDir: stateDir, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response, wantStatus int) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d: %s", resp.Request.Method, resp.Request.URL, resp.StatusCode, wantStatus, buf.String())
+	}
+	var v T
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("decode %s: %v", buf.String(), err)
+	}
+	return v
+}
+
+func createCampaign(t *testing.T, base, payload string) Record {
+	t.Helper()
+	return decodeBody[Record](t, postJSON(t, base+"/campaigns", payload), http.StatusCreated)
+}
+
+// pollRecord polls a campaign until cond holds (or the deadline kills the
+// test).
+func pollRecord(t *testing.T, base, id string, what string, cond func(Record) bool) Record {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := decodeBody[Record](t, resp, http.StatusOK)
+		if cond(rec) {
+			return rec
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached %s: %+v", id, what, rec)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getReport(t *testing.T, base, id string) *dejavuzz.Report {
+	t.Helper()
+	resp, err := http.Get(base + "/campaigns/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeBody[*dejavuzz.Report](t, resp, http.StatusOK)
+}
+
+// reportJSON canonicalises a report for byte comparison, zeroing the two
+// wall-clock fields resume legitimately changes.
+func reportJSON(t *testing.T, rep *dejavuzz.Report) string {
+	t.Helper()
+	cp := *rep
+	cp.Duration = 0
+	cp.FirstBug = 0
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// directReport runs the same campaign in-process, uninterrupted — the
+// ground truth server-resumed reports must match byte-for-byte.
+func directReport(t *testing.T, o dejavuzz.Options) *dejavuzz.Report {
+	t.Helper()
+	c, err := o.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Run()
+}
+
+// TestServerTriageDedupAcrossSeeds is the triage e2e: two campaigns on the
+// same target with different seeds, created and observed entirely over
+// HTTP; the /findings view must collapse identical findings — within one
+// campaign and across the two seeds — into single bugs with occurrence
+// counts.
+func TestServerTriageDedupAcrossSeeds(t *testing.T) {
+	srv, ts := openTestServer(t, t.TempDir(), 2)
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	rec1 := createCampaign(t, ts.URL, `{"name":"seed-one","options":{"target":"boom","seed":1,"iterations":48,"merge_every":8}}`)
+	rec2 := createCampaign(t, ts.URL, `{"name":"seed-two","options":{"target":"boom","seed":2,"iterations":48,"merge_every":8}}`)
+
+	// Live event stream: at minimum the status frame, then barrier events
+	// while the campaign runs.
+	resp, err := http.Get(ts.URL + "/campaigns/" + rec1.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("event stream closed before the status frame")
+	}
+	var first struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("bad NDJSON frame %q: %v", sc.Text(), err)
+	}
+	if first.Kind != "status" {
+		t.Fatalf("first frame kind=%q, want status", first.Kind)
+	}
+	streamed := 0
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON frame %q: %v", sc.Text(), err)
+		}
+		streamed++
+	}
+	resp.Body.Close()
+
+	done := func(r Record) bool { return r.State == StateDone }
+	fin1 := pollRecord(t, ts.URL, rec1.ID, "done", done)
+	fin2 := pollRecord(t, ts.URL, rec2.ID, "done", done)
+	if fin1.Findings == 0 || fin2.Findings == 0 {
+		t.Fatalf("expected findings from both campaigns, got %d and %d", fin1.Findings, fin2.Findings)
+	}
+	if streamed == 0 {
+		t.Error("event stream carried no live events")
+	}
+
+	resp, err = http.Get(ts.URL + "/findings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := decodeBody[findingsResponse](t, resp, http.StatusOK)
+	raw := fin1.Findings + fin2.Findings
+	if view.RawFindings != raw {
+		t.Fatalf("raw findings %d, want %d (every reported finding triaged)", view.RawFindings, raw)
+	}
+	if view.BugCount >= raw {
+		t.Fatalf("triage did not dedup: %d bugs from %d raw findings", view.BugCount, raw)
+	}
+	total := 0
+	crossSeed := false
+	for _, b := range view.Bugs {
+		total += b.Count
+		if len(b.Campaigns) == 2 && b.Count >= 2 {
+			crossSeed = true
+			if len(b.Seeds) != 2 || b.Seeds[0] != 1 || b.Seeds[1] != 2 {
+				t.Fatalf("cross-campaign bug carries seeds %v, want [1 2]", b.Seeds)
+			}
+		}
+	}
+	if total != raw {
+		t.Fatalf("occurrence counts sum to %d, want %d", total, raw)
+	}
+	if !crossSeed {
+		t.Fatalf("no bug deduplicated across the two seeds; bugs: %+v", view.Bugs)
+	}
+
+	// The filtered view matches (both campaigns ran on boom).
+	resp, err = http.Get(ts.URL + "/findings?target=boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := decodeBody[findingsResponse](t, resp, http.StatusOK)
+	if filtered.BugCount != view.BugCount {
+		t.Fatalf("target filter lost bugs: %d vs %d", filtered.BugCount, view.BugCount)
+	}
+	resp, err = http.Get(ts.URL + "/findings?target=isasim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty := decodeBody[findingsResponse](t, resp, http.StatusOK); empty.BugCount != 0 {
+		t.Fatalf("isasim filter returned %d boom bugs", empty.BugCount)
+	}
+}
+
+// TestServerShutdownResume is the graceful-shutdown e2e the acceptance
+// criteria name: two campaigns on different targets run concurrently over
+// HTTP; Shutdown checkpoints both at their next merge barrier; a second
+// server over the same state directory resumes them automatically, and
+// both finish with reports byte-identical (modulo Duration/FirstBug) to
+// uninterrupted in-process runs.
+func TestServerShutdownResume(t *testing.T) {
+	stateDir := t.TempDir()
+	srv1, ts1 := openTestServer(t, stateDir, 2)
+
+	isaOpts := dejavuzz.Options{Target: "isasim", Seed: 5, Iterations: 6000, MergeEvery: 64}
+	boomOpts := dejavuzz.Options{Target: "boom", Seed: 1, Iterations: 160, MergeEvery: 8}
+	recA := createCampaign(t, ts1.URL, `{"name":"arch","options":{"target":"isasim","seed":5,"iterations":6000,"merge_every":64}}`)
+	recB := createCampaign(t, ts1.URL, `{"name":"uarch","options":{"target":"boom","seed":1,"iterations":160,"merge_every":8}}`)
+
+	// Both must run at once on the budget of 2 — the multi-tenant claim.
+	pollRecord(t, ts1.URL, recA.ID, "running", func(r Record) bool { return r.State == StateRunning })
+	pollRecord(t, ts1.URL, recB.ID, "running", func(r Record) bool { return r.State == StateRunning })
+	both := srv1.Snapshot()
+	if both.ByState[StateRunning] != 2 {
+		t.Fatalf("campaigns did not run concurrently: %+v", both.ByState)
+	}
+
+	// Let each cross at least one barrier so the resume is a genuine
+	// mid-campaign continuation, then pull the plug.
+	pollRecord(t, ts1.URL, recA.ID, "progress", func(r Record) bool { return r.Done > 0 })
+	pollRecord(t, ts1.URL, recB.ID, "progress", func(r Record) bool { return r.Done > 0 })
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts1.Close()
+
+	for _, rec := range srv1.List() {
+		if rec.State != StateQueued {
+			t.Fatalf("campaign %s persisted as %s after shutdown, want queued", rec.ID, rec.State)
+		}
+		if rec.Done == 0 || rec.Done >= rec.Total {
+			t.Fatalf("campaign %s shut down at %d/%d — not mid-campaign", rec.ID, rec.Done, rec.Total)
+		}
+	}
+
+	// Restart over the same state directory: both campaigns must resume
+	// without any client action and run to completion.
+	srv2, ts2 := openTestServer(t, stateDir, 2)
+	defer srv2.Shutdown(context.Background()) //nolint:errcheck
+	finA := pollRecord(t, ts2.URL, recA.ID, "done", func(r Record) bool { return r.State == StateDone })
+	finB := pollRecord(t, ts2.URL, recB.ID, "done", func(r Record) bool { return r.State == StateDone })
+	if finA.Done != finA.Total || finB.Done != finB.Total {
+		t.Fatalf("resumed campaigns did not finish: %+v / %+v", finA, finB)
+	}
+
+	// Byte-identical reports, modulo the wall-clock fields.
+	wantA := reportJSON(t, directReport(t, isaOpts))
+	wantB := reportJSON(t, directReport(t, boomOpts))
+	gotA := reportJSON(t, getReport(t, ts2.URL, recA.ID))
+	gotB := reportJSON(t, getReport(t, ts2.URL, recB.ID))
+	if gotA != wantA {
+		t.Errorf("isasim report diverged after shutdown+resume:\n got %.200s...\nwant %.200s...", gotA, wantA)
+	}
+	if gotB != wantB {
+		t.Errorf("boom report diverged after shutdown+resume:\n got %.200s...\nwant %.200s...", gotB, wantB)
+	}
+}
+
+// TestServerPauseResumeCancel exercises the remaining lifecycle endpoints
+// plus healthz/metrics.
+func TestServerPauseResumeCancel(t *testing.T) {
+	srv, ts := openTestServer(t, t.TempDir(), 1)
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	rec := createCampaign(t, ts.URL, `{"name":"pausable","options":{"target":"isasim","seed":3,"iterations":8000,"merge_every":64}}`)
+	pollRecord(t, ts.URL, rec.ID, "progress", func(r Record) bool { return r.Done > 0 })
+
+	decodeBody[Record](t, postJSON(t, ts.URL+"/campaigns/"+rec.ID+"/pause", ""), http.StatusAccepted)
+	paused := pollRecord(t, ts.URL, rec.ID, "paused", func(r Record) bool { return r.State == StatePaused })
+	if paused.Done == 0 || paused.Done >= paused.Total {
+		t.Fatalf("paused at %d/%d — expected a mid-campaign barrier", paused.Done, paused.Total)
+	}
+
+	// While paused, the budget is free: a second campaign runs to done.
+	other := createCampaign(t, ts.URL, `{"options":{"target":"isasim","seed":4,"iterations":64,"merge_every":16}}`)
+	pollRecord(t, ts.URL, other.ID, "done", func(r Record) bool { return r.State == StateDone })
+
+	decodeBody[Record](t, postJSON(t, ts.URL+"/campaigns/"+rec.ID+"/resume", ""), http.StatusAccepted)
+	resumed := pollRecord(t, ts.URL, rec.ID, "running or done", func(r Record) bool {
+		return r.State == StateRunning || r.State == StateDone
+	})
+	if resumed.Done < paused.Done {
+		t.Fatalf("resume lost progress: %d < %d", resumed.Done, paused.Done)
+	}
+
+	decodeBody[Record](t, postJSON(t, ts.URL+"/campaigns/"+rec.ID+"/cancel", ""), http.StatusAccepted)
+	pollRecord(t, ts.URL, rec.ID, "cancelled or done", func(r Record) bool { return r.State.Terminal() })
+
+	// Cancel is terminal: resume must 409.
+	resp := postJSON(t, ts.URL+"/campaigns/"+rec.ID+"/resume", "")
+	decodeBody[errorBody](t, resp, http.StatusConflict)
+	// Unknown campaigns 404.
+	resp, err := http.Get(ts.URL + "/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody[errorBody](t, resp, http.StatusNotFound)
+	// Bad payloads 400.
+	resp = postJSON(t, ts.URL+"/campaigns", `{"options":{"target":"warp-core"}}`)
+	decodeBody[errorBody](t, resp, http.StatusBadRequest)
+	resp = postJSON(t, ts.URL+"/campaigns", `{"options":{"variant":"quantum"}}`)
+	decodeBody[errorBody](t, resp, http.StatusBadRequest)
+
+	// Health and metrics answer.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decodeBody[map[string]any](t, resp, http.StatusOK)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	for _, metric := range []string{"dvz_workers_budget 1", "dvz_campaigns{state=\"done\"} 1", "dvz_iterations_total"} {
+		if !strings.Contains(metrics.String(), metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, metrics.String())
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package triage deduplicates and clusters raw campaign findings into
+// triaged bug reports. A long fuzzing campaign rediscovers the same
+// underlying vulnerability many times — different seeds, iterations and
+// stimuli reaching the same leak through the same site — and the paper's
+// reporting pipeline (like SpecFuzz's aggregation of thousands of raw traps
+// and Shesha's clustering by microarchitectural origin) collapses them
+// before a human ever looks. The unit of collapse is the Signature: a
+// stable key over the finding's normalized bug class and leak site, and
+// over nothing that varies across rediscoveries.
+//
+// The Store persists the triaged view as a single JSON file via
+// internal/atomicfile, so a crash never corrupts it and a server restart
+// resumes triage exactly where it stopped. Occurrence recording is
+// idempotent per (campaign, iteration), so replaying a campaign's event
+// stream — e.g. after an unclean shutdown re-runs barriers the store
+// already absorbed — never inflates counts.
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dejavuzz/internal/core"
+)
+
+// Signature identifies a triaged bug: the target name joined with the
+// finding's stable identity fields (core.Finding.SignatureInputs — kind,
+// attack type, window class, leak-site components, mechanism witnesses).
+// It is a readable '|'-separated string, identical for every rediscovery of
+// the same bug regardless of campaign seed or iteration count.
+type Signature string
+
+// Compute derives the signature for one finding on one target.
+func Compute(target string, f *core.Finding) Signature {
+	return Signature(target + "|" + strings.Join(f.SignatureInputs(), "|"))
+}
+
+// Bug is one triaged bug report: the cluster of all raw findings sharing a
+// signature, with provenance.
+type Bug struct {
+	Signature  Signature `json:"signature"`
+	Target     string    `json:"target"`
+	Kind       string    `json:"kind"`
+	AttackType string    `json:"attack_type"`
+	Window     string    `json:"window"`
+	Components []string  `json:"components"`
+	BugLabels  []string  `json:"bug_labels,omitempty"`
+	// Count is the number of distinct (campaign, iteration) occurrences.
+	Count int `json:"count"`
+	// Campaigns and Seeds are the sorted distinct campaign IDs and campaign
+	// seeds the bug was observed under — the cross-seed dedup evidence.
+	Campaigns []string `json:"campaigns"`
+	Seeds     []int64  `json:"seeds"`
+	// Example is the first finding observed for this signature (a concrete
+	// reproducer: its Seed regenerates the stimulus).
+	Example core.Finding `json:"example"`
+
+	// occurrences keys ("campaign#iteration") make recording idempotent.
+	occurrences map[string]bool
+}
+
+// Occurrence is one raw-finding observation attributed to a bug.
+type Occurrence struct {
+	Campaign  string
+	Seed      int64
+	Iteration int
+}
+
+func (o Occurrence) key() string { return fmt.Sprintf("%s#%d", o.Campaign, o.Iteration) }
+
+// record absorbs one occurrence; it reports whether it was new.
+func (b *Bug) record(o Occurrence) bool {
+	if b.occurrences == nil {
+		b.occurrences = make(map[string]bool)
+	}
+	k := o.key()
+	if b.occurrences[k] {
+		return false
+	}
+	b.occurrences[k] = true
+	b.Count = len(b.occurrences)
+	b.Campaigns = insertString(b.Campaigns, o.Campaign)
+	b.Seeds = insertInt64(b.Seeds, o.Seed)
+	return true
+}
+
+func insertString(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertInt64(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// newBug builds the cluster head for a signature from its first finding.
+func newBug(sig Signature, target string, f *core.Finding) *Bug {
+	in := f.SignatureInputs()
+	return &Bug{
+		Signature:  sig,
+		Target:     target,
+		Kind:       in[0],
+		AttackType: in[1],
+		Window:     in[2],
+		Components: splitPlus(in[3]),
+		BugLabels:  splitPlus(in[4]),
+		Example:    *f,
+	}
+}
+
+func splitPlus(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "+")
+}

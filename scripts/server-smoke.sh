@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Smoke-test dvz-server's full service loop over real HTTP and real
+# signals: start the server, create a short isasim campaign, poll the
+# triage view, SIGTERM the server mid-campaign (graceful shutdown must
+# checkpoint it at the next merge barrier), restart over the same state
+# directory, and assert the campaign resumes automatically and completes.
+set -euo pipefail
+
+ADDR="127.0.0.1:8471"
+BASE="http://$ADDR"
+STATE="$(mktemp -d)"
+BIN="$(mktemp -d)/dvz-server"
+SRV_PID=""
+
+cleanup() {
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+  rm -rf "$STATE" "$(dirname "$BIN")" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() { echo "SMOKE FAIL: $*" >&2; exit 1; }
+
+# jq-free field extraction: first "key":value (string or number) in stdin.
+field() { grep -o "\"$1\":[^,}]*" | head -n1 | sed -e "s/\"$1\"://" -e 's/"//g' -e 's/ //g'; }
+
+wait_healthy() {
+  for _ in $(seq 100); do
+    curl -fs "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "server never became healthy on $BASE"
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/dvz-server
+
+echo "== start server (state=$STATE)"
+"$BIN" -addr "$ADDR" -state "$STATE" -workers 2 &
+SRV_PID=$!
+wait_healthy
+
+echo "== create isasim campaign"
+CREATE=$(curl -fs -X POST "$BASE/campaigns" \
+  -d '{"name":"smoke","options":{"target":"isasim","seed":7,"iterations":20000,"merge_every":64}}')
+ID=$(echo "$CREATE" | field id)
+TOTAL=$(echo "$CREATE" | field total)
+[ -n "$ID" ] || fail "create returned no id: $CREATE"
+[ "$TOTAL" = "20000" ] || fail "create returned total=$TOTAL, want 20000"
+echo "   campaign $ID, $TOTAL iterations"
+
+echo "== wait for first merge barrier"
+DONE=0
+for _ in $(seq 200); do
+  DONE=$(curl -fs "$BASE/campaigns/$ID" | field done)
+  [ "$DONE" -gt 0 ] && break
+  sleep 0.1
+done
+[ "$DONE" -gt 0 ] || fail "campaign never crossed a barrier"
+
+echo "== poll triage view"
+FINDINGS=$(curl -fs "$BASE/findings")
+echo "$FINDINGS" | grep -q '"raw_findings"' || fail "/findings malformed: $FINDINGS"
+METRICS=$(curl -fs "$BASE/metrics")
+echo "$METRICS" | grep -q '^dvz_campaigns{state="running"} 1' \
+  || fail "metrics do not show the running campaign"
+
+echo "== SIGTERM mid-campaign (done=$DONE/$TOTAL)"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero after SIGTERM"
+SRV_PID=""
+CKPT_DONE=$(grep -o "\"done\":[0-9]*" "$STATE/campaigns.json" | head -n1 | sed 's/"done"://')
+[ "$CKPT_DONE" -gt 0 ] && [ "$CKPT_DONE" -lt "$TOTAL" ] \
+  || fail "registry shows done=$CKPT_DONE, want mid-campaign checkpoint"
+grep -q '"state":"queued"' "$STATE/campaigns.json" || fail "campaign not persisted as queued for resume"
+echo "   checkpointed at $CKPT_DONE/$TOTAL"
+
+echo "== restart server, campaign must resume on its own"
+"$BIN" -addr "$ADDR" -state "$STATE" -workers 2 &
+SRV_PID=$!
+wait_healthy
+STATE_NOW=""
+for _ in $(seq 600); do
+  REC=$(curl -fs "$BASE/campaigns/$ID")
+  STATE_NOW=$(echo "$REC" | field state)
+  DONE=$(echo "$REC" | field done)
+  [ "$STATE_NOW" = "done" ] && break
+  [ "$STATE_NOW" = "failed" ] && fail "campaign failed after restart: $REC"
+  sleep 0.1
+done
+[ "$STATE_NOW" = "done" ] || fail "campaign did not finish after restart (state=$STATE_NOW done=$DONE)"
+[ "$DONE" = "$TOTAL" ] || fail "finished with done=$DONE, want $TOTAL"
+REPORT=$(curl -fs "$BASE/campaigns/$ID/report")
+# Substring match, not a grep pipe: the report is megabytes and grep -q's
+# early exit would SIGPIPE the producer under pipefail.
+[[ "$REPORT" == *'"Coverage"'* ]] || fail "report endpoint empty"
+
+echo "== graceful final shutdown"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero on final SIGTERM"
+SRV_PID=""
+
+echo "SMOKE OK: campaign $ID checkpointed at $CKPT_DONE/$TOTAL and resumed to completion"

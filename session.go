@@ -182,6 +182,86 @@ type Session struct {
 	report *Report
 	ckpt   *Checkpoint
 	err    error
+
+	// Fan-out observers (Subscribe). Guarded by subMu, not mu: broadcast
+	// runs on the engine goroutine at every event and must never contend
+	// with Wait/Checkpoint holders of mu.
+	subMu      sync.Mutex
+	subs       map[int]chan Event
+	nextSub    int
+	subsClosed bool
+}
+
+// defaultSubscriberBuffer is the Subscribe channel buffer when the caller
+// passes a non-positive size.
+const defaultSubscriberBuffer = 256
+
+// Subscribe registers an additional observer of the session's event stream
+// and returns its channel plus a cancel function that unsubscribes (always
+// call it when done, or the subscription lives until the session ends).
+//
+// Subscribers are independent of the primary Events channel and of each
+// other: every event is delivered to the primary stream and to every
+// subscriber, so any number of consumers — a progress bar, an HTTP event
+// stream per client, a findings recorder — can watch one session without
+// splitting events between them. A subscription observes events from the
+// moment it is taken; earlier events are not replayed.
+//
+// Delivery to subscribers is best-effort: the engine never blocks on an
+// observer, so a subscriber that falls more than buf events behind misses
+// the overflow (the primary Events channel keeps the lossless guarantee —
+// use it for authoritative consumption). The channel closes when the
+// session ends or the subscription is cancelled; a Subscribe after the
+// session ended returns an already-closed channel.
+func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = defaultSubscriberBuffer
+	}
+	ch := make(chan Event, buf)
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subsClosed {
+		close(ch)
+		return ch, func() {}
+	}
+	if s.subs == nil {
+		s.subs = make(map[int]chan Event)
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	return ch, func() {
+		s.subMu.Lock()
+		defer s.subMu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+}
+
+// broadcast fans one event out to every subscriber, dropping it for
+// subscribers whose buffers are full (see Subscribe).
+func (s *Session) broadcast(ev Event) {
+	s.subMu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// closeSubs ends every subscription; later Subscribes get closed channels.
+func (s *Session) closeSubs() {
+	s.subMu.Lock()
+	s.subsClosed = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.subMu.Unlock()
 }
 
 // emit delivers one event from the engine goroutine. The buffer normally
@@ -191,6 +271,7 @@ type Session struct {
 // wedging the stopping engine (the channel still closes, so consumers
 // never hang).
 func (s *Session) emit(ctx context.Context, ev Event) {
+	s.broadcast(ev)
 	select {
 	case s.events <- ev:
 		return
@@ -307,6 +388,7 @@ func (c *Campaign) launch(ctx context.Context, state *core.EngineState) (*Sessio
 				Done: done, Total: total, Coverage: len(st.Coverage)})
 		}
 		close(s.events)
+		s.closeSubs()
 		close(s.done)
 	}()
 	return s, nil

@@ -1,0 +1,243 @@
+package dejavuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dejavuzz/internal/gen"
+)
+
+// Options is the declarative, JSON-serialisable form of a campaign
+// configuration — the wire format dvz-server's create-campaign endpoint
+// accepts, and the bridge between external clients and the functional
+// options New takes. The zero value selects the target's defaults for
+// everything.
+//
+// Two fields need explicit-zero markers, exactly as the deprecated Config
+// did: seed 0 is a valid seed and 0 iterations is a valid dry run, but both
+// are also the Go zero value. The JSON encoding resolves the ambiguity by
+// key presence — MarshalJSON emits "seed"/"iterations" whenever they are
+// explicit (set marker or non-zero value) and omits them otherwise, and
+// UnmarshalJSON sets the markers from key presence — so `{"seed":0}` and
+// `{}` round-trip to different campaigns (seed zero vs the default seed 1).
+//
+// The remaining knobs have no zero ambiguity on the wire: numeric fields
+// treat 0 as "use the default" (none accepts an explicit zero), the
+// boolean toggles are phrased so false is the default, and Variant's empty
+// string means Derived.
+type Options struct {
+	// Target names the registered design under test; empty means
+	// DefaultTarget.
+	Target string
+	// Seed is the campaign RNG seed; see SeedSet for the zero convention.
+	Seed int64
+	// SeedSet marks Seed as explicit, making seed 0 selectable.
+	SeedSet bool
+	// Iterations is the campaign length; see IterationsSet.
+	Iterations int
+	// IterationsSet marks Iterations as explicit, making a 0-iteration dry
+	// run selectable.
+	IterationsSet bool
+	// Workers, Shards, MergeEvery, MaxCycles and SecretRetries override the
+	// engine defaults when positive.
+	Workers       int
+	Shards        int
+	MergeEvery    int
+	MaxCycles     int
+	SecretRetries int
+	// Variant is "derived" (DejaVuzz, the default) or "random" (the
+	// DejaVuzz* ablation).
+	Variant string
+	// The ablation toggles, phrased so the zero value is the full fuzzer.
+	NoCoverageFeedback bool
+	NoLiveness         bool
+	NoReduction        bool
+	Bugless            bool
+}
+
+// Variant wire names.
+const (
+	VariantNameDerived = "derived"
+	VariantNameRandom  = "random"
+)
+
+// wireOptions is the JSON shape of Options: pointers carry the key-presence
+// bit for the two explicit-zero fields, omitempty elides defaults so a
+// marshalled default configuration is `{}`.
+type wireOptions struct {
+	Target             string `json:"target,omitempty"`
+	Seed               *int64 `json:"seed,omitempty"`
+	Iterations         *int   `json:"iterations,omitempty"`
+	Workers            int    `json:"workers,omitempty"`
+	Shards             int    `json:"shards,omitempty"`
+	MergeEvery         int    `json:"merge_every,omitempty"`
+	MaxCycles          int    `json:"max_cycles,omitempty"`
+	SecretRetries      int    `json:"secret_retries,omitempty"`
+	Variant            string `json:"variant,omitempty"`
+	NoCoverageFeedback bool   `json:"no_coverage_feedback,omitempty"`
+	NoLiveness         bool   `json:"no_liveness,omitempty"`
+	NoReduction        bool   `json:"no_reduction,omitempty"`
+	Bugless            bool   `json:"bugless,omitempty"`
+}
+
+// MarshalJSON encodes the options in wire form. "seed" and "iterations"
+// appear exactly when explicit (marker set or value non-zero); all other
+// fields are omitted at their default values.
+func (o Options) MarshalJSON() ([]byte, error) {
+	w := wireOptions{
+		Target:             o.Target,
+		Workers:            o.Workers,
+		Shards:             o.Shards,
+		MergeEvery:         o.MergeEvery,
+		MaxCycles:          o.MaxCycles,
+		SecretRetries:      o.SecretRetries,
+		Variant:            o.Variant,
+		NoCoverageFeedback: o.NoCoverageFeedback,
+		NoLiveness:         o.NoLiveness,
+		NoReduction:        o.NoReduction,
+		Bugless:            o.Bugless,
+	}
+	if o.SeedSet || o.Seed != 0 {
+		seed := o.Seed
+		w.Seed = &seed
+	}
+	if o.IterationsSet || o.Iterations != 0 {
+		iters := o.Iterations
+		w.Iterations = &iters
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes wire-form options, deriving the explicit-zero
+// markers from key presence and validating the variant name. Unknown keys
+// are rejected: a misspelled option silently decoding to a default-value
+// campaign is exactly the failure mode a fuzzing service must not have.
+func (o *Options) UnmarshalJSON(data []byte) error {
+	var w wireOptions
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	if _, err := parseVariant(w.Variant); err != nil {
+		return err
+	}
+	*o = Options{
+		Target:             w.Target,
+		Workers:            w.Workers,
+		Shards:             w.Shards,
+		MergeEvery:         w.MergeEvery,
+		MaxCycles:          w.MaxCycles,
+		SecretRetries:      w.SecretRetries,
+		Variant:            w.Variant,
+		NoCoverageFeedback: w.NoCoverageFeedback,
+		NoLiveness:         w.NoLiveness,
+		NoReduction:        w.NoReduction,
+		Bugless:            w.Bugless,
+	}
+	if w.Seed != nil {
+		o.Seed, o.SeedSet = *w.Seed, true
+	}
+	if w.Iterations != nil {
+		o.Iterations, o.IterationsSet = *w.Iterations, true
+	}
+	return nil
+}
+
+func parseVariant(name string) (gen.Variant, error) {
+	switch name {
+	case "", VariantNameDerived:
+		return gen.VariantDerived, nil
+	case VariantNameRandom:
+		return gen.VariantRandom, nil
+	}
+	return 0, fmt.Errorf("dejavuzz: unknown variant %q (want %q or %q)",
+		name, VariantNameDerived, VariantNameRandom)
+}
+
+// EffectiveTarget returns the target name the options select (DefaultTarget
+// when unset).
+func (o Options) EffectiveTarget() string {
+	if o.Target == "" {
+		return DefaultTarget
+	}
+	return o.Target
+}
+
+// EffectiveIterations returns the campaign length the options select (the
+// engine default, 100, when unset).
+func (o Options) EffectiveIterations() int {
+	if o.IterationsSet || o.Iterations != 0 {
+		return o.Iterations
+	}
+	return 100
+}
+
+// EffectiveSeed returns the campaign seed the options select (the engine
+// default, 1, when unset).
+func (o Options) EffectiveSeed() int64 {
+	if o.SeedSet || o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// Functional lowers the wire options onto the equivalent functional-option
+// list (everything left at its default contributes nothing). It errors on
+// an invalid variant name; target validation happens in New.
+func (o Options) Functional() ([]Option, error) {
+	variant, err := parseVariant(o.Variant)
+	if err != nil {
+		return nil, err
+	}
+	var opts []Option
+	if o.SeedSet || o.Seed != 0 {
+		opts = append(opts, WithSeed(o.Seed))
+	}
+	if o.IterationsSet || o.Iterations != 0 {
+		opts = append(opts, WithIterations(o.Iterations))
+	}
+	if o.Workers > 0 {
+		opts = append(opts, WithWorkers(o.Workers))
+	}
+	if o.Shards > 0 {
+		opts = append(opts, WithShards(o.Shards))
+	}
+	if o.MergeEvery > 0 {
+		opts = append(opts, WithMergeEvery(o.MergeEvery))
+	}
+	if o.MaxCycles > 0 {
+		opts = append(opts, WithMaxCycles(o.MaxCycles))
+	}
+	if o.SecretRetries > 0 {
+		opts = append(opts, WithSecretRetries(o.SecretRetries))
+	}
+	if variant != gen.VariantDerived {
+		opts = append(opts, WithVariant(variant))
+	}
+	if o.NoCoverageFeedback {
+		opts = append(opts, WithCoverageFeedback(false))
+	}
+	if o.NoLiveness {
+		opts = append(opts, WithLiveness(false))
+	}
+	if o.NoReduction {
+		opts = append(opts, WithReduction(false))
+	}
+	if o.Bugless {
+		opts = append(opts, WithInjectedBugs(false))
+	}
+	return opts, nil
+}
+
+// Campaign builds the campaign the options describe, with any extra
+// functional options (e.g. WithCheckpointFile, which has no wire form —
+// servers own their checkpoint paths) applied on top.
+func (o Options) Campaign(extra ...Option) (*Campaign, error) {
+	opts, err := o.Functional()
+	if err != nil {
+		return nil, err
+	}
+	return New(o.EffectiveTarget(), append(opts, extra...)...)
+}

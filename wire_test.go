@@ -1,0 +1,160 @@
+package dejavuzz
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/core"
+)
+
+// coreOptions lowers wire options onto the engine options they select —
+// the semantic identity JSON round-trips must preserve.
+func coreOptions(t *testing.T, o Options) core.Options {
+	t.Helper()
+	c, err := o.Campaign()
+	if err != nil {
+		t.Fatalf("Campaign(%+v): %v", o, err)
+	}
+	return c.opts
+}
+
+// TestOptionsJSONRoundTrip drives every field shape through
+// MarshalJSON/UnmarshalJSON and asserts the decoded options select exactly
+// the same campaign. The explicit-zero cases are the regression guard the
+// wire format exists for: `{"seed":0}` and `{}` are different campaigns,
+// and a marshal that drops an explicit zero (or an unmarshal that misses
+// key presence) silently swaps seed 0 / 0 iterations for the defaults.
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+	}{
+		{"zero-value", Options{}},
+		{"explicit-zero-seed", Options{SeedSet: true}},
+		{"explicit-zero-iterations", Options{IterationsSet: true}},
+		{"explicit-zeros-both", Options{SeedSet: true, IterationsSet: true}},
+		{"nonzero-seed-without-marker", Options{Seed: 42}},
+		{"nonzero-iterations-without-marker", Options{Iterations: 64}},
+		{"target-only", Options{Target: "isasim"}},
+		{"variant-random", Options{Variant: VariantNameRandom}},
+		{"all-knobs", Options{
+			Target: "xiangshan", Seed: -7, SeedSet: true,
+			Iterations: 256, IterationsSet: true,
+			Workers: 4, Shards: 16, MergeEvery: 32, MaxCycles: 5000,
+			SecretRetries: 3, Variant: VariantNameRandom,
+			NoCoverageFeedback: true, NoLiveness: true, NoReduction: true,
+			Bugless: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(tc.o)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var got Options
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatalf("unmarshal %s: %v", data, err)
+			}
+			want := coreOptions(t, tc.o)
+			if gotOpts := coreOptions(t, got); !gotOpts.EquivalentTo(want) || gotOpts.Normalized().Workers != want.Normalized().Workers {
+				t.Fatalf("round trip through %s changed the campaign:\n got %+v\nwant %+v", data, gotOpts, want)
+			}
+			// Second trip must be a fixed point byte-for-byte.
+			data2, err := json.Marshal(got)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if string(data2) != string(data) {
+				t.Fatalf("marshal not stable: %s then %s", data, data2)
+			}
+		})
+	}
+}
+
+// TestOptionsJSONExplicitZeros pins the wire encoding itself: explicit
+// zeros appear as keys, defaults disappear entirely.
+func TestOptionsJSONExplicitZeros(t *testing.T) {
+	data, err := json.Marshal(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Fatalf("zero Options marshals as %s, want {}", data)
+	}
+
+	data, err = json.Marshal(Options{SeedSet: true, IterationsSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"seed":0`, `"iterations":0`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("explicit zeros marshal as %s, missing %s", data, key)
+		}
+	}
+
+	var got Options
+	if err := json.Unmarshal([]byte(`{"seed":0,"iterations":0}`), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.SeedSet || !got.IterationsSet {
+		t.Fatalf("key presence must set the explicit-zero markers: %+v", got)
+	}
+	if got.EffectiveSeed() != 0 || got.EffectiveIterations() != 0 {
+		t.Fatalf("explicit zeros must win over defaults: seed=%d iters=%d",
+			got.EffectiveSeed(), got.EffectiveIterations())
+	}
+
+	got = Options{}
+	if err := json.Unmarshal([]byte(`{}`), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.SeedSet || got.IterationsSet {
+		t.Fatalf("absent keys must not set markers: %+v", got)
+	}
+	if got.EffectiveSeed() != 1 || got.EffectiveIterations() != 100 {
+		t.Fatalf("defaults: seed=%d iters=%d, want 1/100", got.EffectiveSeed(), got.EffectiveIterations())
+	}
+}
+
+// TestOptionsJSONBadVariant checks decode-time validation: an unknown
+// variant never reaches campaign construction.
+func TestOptionsJSONBadVariant(t *testing.T) {
+	var o Options
+	if err := json.Unmarshal([]byte(`{"variant":"quantum"}`), &o); err == nil {
+		t.Fatal("unknown variant must fail to decode")
+	}
+}
+
+// TestOptionsJSONUnknownKeys: a misspelled option must fail loudly, not
+// silently decode to a default-value campaign — even through the custom
+// UnmarshalJSON, which outer DisallowUnknownFields decoders cannot reach.
+func TestOptionsJSONUnknownKeys(t *testing.T) {
+	var o Options
+	if err := json.Unmarshal([]byte(`{"no_feedback":true}`), &o); err == nil {
+		t.Fatal("misspelled key (no_feedback vs no_coverage_feedback) must fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{"seeds":[1,2]}`), &o); err == nil {
+		t.Fatal("unknown key must fail to decode")
+	}
+}
+
+// TestOptionsCampaignEquivalence proves the wire path and the functional-
+// option path build determinism-equivalent campaigns: a campaign created
+// over the wire reports exactly what the same campaign built in-process
+// reports.
+func TestOptionsCampaignEquivalence(t *testing.T) {
+	wire := Options{Target: "isasim", Seed: 9, Iterations: 24, MergeEvery: 8}
+	cw, err := wire.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := New("isasim", WithSeed(9), WithIterations(24), WithMergeEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cw.opts.EquivalentTo(cf.opts) {
+		t.Fatalf("wire options %+v not equivalent to functional options %+v", cw.opts, cf.opts)
+	}
+}
