@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -44,7 +46,13 @@ import (
 	"dejavuzz/internal/gen"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the whole CLI; it returns the process exit code instead
+// of calling os.Exit so deferred teardown — notably the -cpuprofile /
+// -memprofile writers — runs on every path, including the interrupt/
+// checkpoint flow and error exits.
+func realMain() int {
 	target := flag.String("target", "", "design under test (see -list-targets; default boom)")
 	coreName := flag.String("core", "", "deprecated alias of -target (boom or xiangshan)")
 	n := flag.Int("n", 200, "fuzzing iterations")
@@ -62,25 +70,60 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "resumable checkpoint file (per-barrier in single mode, per-campaign in matrix mode)")
 	progress := flag.Bool("progress", false, "stream per-barrier progress to stderr")
 	listTargets := flag.Bool("list-targets", false, "list registered targets and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
+
+	// Profiling hooks so perf work on the engine never needs code edits:
+	// -cpuprofile covers the whole run; -memprofile snapshots the heap after
+	// the campaign completes (post-GC, so live retention is what shows).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *listTargets {
 		for _, name := range dejavuzz.Targets() {
 			t, _ := dejavuzz.LookupTarget(name)
 			fmt.Printf("%-12s %s\n", name, t.Description())
 		}
-		return
+		return 0
 	}
 
 	targetName, err := resolveTarget(*target, *coreName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	trainVariant, err := parseVariant(*variant)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	// Ctrl-C cancels the session/matrix at the next merge barrier, where a
@@ -92,7 +135,7 @@ func main() {
 		tgt, err := dejavuzz.LookupTarget(targetName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		base := core.DefaultOptionsFor(tgt)
 		base.Seed = *seed
@@ -105,13 +148,11 @@ func main() {
 		base.UseLiveness = !*noLiveness
 		base.UseReduction = !*noReduction
 		base.Bugless = *bugless
-		runMatrix(ctx, *matrix, base, *workers, *checkpoint, *progress)
-		return
+		return runMatrix(ctx, *matrix, base, *workers, *checkpoint, *progress)
 	}
 
 	if *repro != "" {
-		runRepro(targetName, *target != "" || *coreName != "", *repro, *bugless)
-		return
+		return runRepro(targetName, *target != "" || *coreName != "", *repro, *bugless)
 	}
 
 	opts := []dejavuzz.Option{
@@ -134,11 +175,16 @@ func main() {
 	c, err := dejavuzz.New(targetName, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
+	ck, err := loadResume(*checkpoint)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	var session *dejavuzz.Session
-	if ck := loadResume(*checkpoint); ck != nil {
+	if ck != nil {
 		done, total := ck.Progress()
 		fmt.Fprintf(os.Stderr, "resuming %s from %s (%d/%d iterations)\n",
 			ck.Target(), *checkpoint, done, total)
@@ -148,7 +194,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	rep := drainSession(session, *progress)
@@ -162,7 +208,7 @@ func main() {
 			where = fmt.Sprintf("re-run the same command to resume from %s", *checkpoint)
 		}
 		fmt.Fprintf(os.Stderr, "interrupted at %d/%d iterations; %s\n", done, total, where)
-		os.Exit(130)
+		return 130
 	}
 
 	if *verbose {
@@ -188,6 +234,7 @@ func main() {
 	if len(rep.Findings) > 0 {
 		fmt.Printf("first finding after ~%v\n", rep.FirstBug.Round(1e6))
 	}
+	return 0
 }
 
 // drainSession consumes the event stream (printing progress when asked) and
@@ -220,19 +267,14 @@ func drainSession(s *dejavuzz.Session, progress bool) *dejavuzz.Report {
 
 // loadResume loads a session checkpoint if the file exists; a missing file
 // (or empty path) starts fresh and any other failure is fatal.
-func loadResume(path string) *dejavuzz.Checkpoint {
+func loadResume(path string) (*dejavuzz.Checkpoint, error) {
 	if path == "" {
-		return nil
+		return nil, nil
 	}
 	if _, err := os.Stat(path); os.IsNotExist(err) {
-		return nil
+		return nil, nil
 	}
-	ck, err := dejavuzz.LoadCheckpoint(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	return ck
+	return dejavuzz.LoadCheckpoint(path)
 }
 
 // runRepro replays a serialised finding seed. Without an explicit -target
@@ -240,11 +282,11 @@ func loadResume(path string) *dejavuzz.Checkpoint {
 // behaviour); with one, the replay runs on that target — which matters for
 // findings from non-uarch targets like isasim, whose seeds also carry a
 // core kind but must not be replayed on the uarch pipeline.
-func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) {
+func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) int {
 	seed, err := core.DecodeSeed(reproJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if !explicit {
 		targetName = core.BuiltinTargetName(seed.Core)
@@ -252,7 +294,7 @@ func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) 
 	tgt, err := core.LookupTarget(targetName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	opts := core.DefaultOptionsFor(tgt)
 	opts.Bugless = bugless
@@ -263,7 +305,7 @@ func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) 
 		rr, err := f.Reproduce(seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("reproduce: triggered=%v taint-gain=%v TO=%d ETO=%d sims=%d\n",
 			rr.Triggered, rr.TaintGain, rr.TO, rr.ETO, rr.Sims)
@@ -272,10 +314,10 @@ func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) 
 		} else {
 			fmt.Println("finding: none")
 		}
-		return
+		return 0
 	}
 	// Any other target: replay one iteration through its pipeline.
-	out := tgt.NewPipeline(f).RunIteration(0, seed, core.NewCoverage())
+	out := tgt.NewPipeline(f).NewShard().RunIteration(0, seed, core.NewCoverage())
 	fmt.Printf("reproduce[%s]: triggered=%v taint-gain=%v new-points=%d sims=%d\n",
 		targetName, out.Triggered, out.TaintGain, out.NewPoints, out.Sims)
 	if out.Finding != nil {
@@ -283,6 +325,7 @@ func runRepro(targetName string, explicit bool, reproJSON string, bugless bool) 
 	} else {
 		fmt.Println("finding: none")
 	}
+	return 0
 }
 
 // resolveTarget folds the deprecated -core spelling into the -target
@@ -375,11 +418,11 @@ func parseMatrix(spec string, base core.Options) (campaign.Matrix, error) {
 	return m, nil
 }
 
-func runMatrix(ctx context.Context, spec string, base core.Options, workers int, checkpoint string, progress bool) {
+func runMatrix(ctx context.Context, spec string, base core.Options, workers int, checkpoint string, progress bool) int {
 	m, err := parseMatrix(spec, base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	runner := campaign.Runner{Workers: workers, Checkpoint: checkpoint}
 	if progress {
@@ -388,7 +431,7 @@ func runMatrix(ctx context.Context, spec string, base core.Options, workers int,
 	results, err := runner.RunMatrixContext(ctx, m)
 	if results == nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%-40s %-10s %-10s %-10s %-10s\n", "campaign", "findings", "coverage", "sims", "cached")
 	for _, res := range results {
@@ -403,6 +446,7 @@ func runMatrix(ctx context.Context, spec string, base core.Options, workers int,
 		// Interrupted, or checkpoint-save failure: completed campaigns above
 		// are still valid (and saved, when -checkpoint was given).
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

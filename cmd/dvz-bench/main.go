@@ -36,6 +36,20 @@ type Result struct {
 	Workers1   float64 `json:"workers1_iters_per_sec"`
 	Workers8   float64 `json:"workers8_iters_per_sec"`
 	Speedup    float64 `json:"workers8_speedup"`
+	// AllocsPerIter / BytesPerIter are heap allocations (count and bytes)
+	// per fuzzing iteration at Workers=1 with per-shard execution-context
+	// reuse — the engine's production configuration.
+	AllocsPerIter float64 `json:"allocs_per_iter"`
+	BytesPerIter  float64 `json:"bytes_per_iter"`
+	// FreshAllocsPerIter / FreshBytesPerIter are the same probe with
+	// context reuse disabled (every simulation rebuilds its DUT state) —
+	// the pre-context-reuse allocation profile, kept as an in-artifact
+	// before/after so the reduction is visible without digging up old
+	// artifacts. FreshSlowdown is fresh-vs-reuse wall-clock ratio.
+	FreshAllocsPerIter float64 `json:"fresh_allocs_per_iter"`
+	FreshBytesPerIter  float64 `json:"fresh_bytes_per_iter"`
+	AllocReduction     float64 `json:"alloc_reduction"`
+	FreshSlowdown      float64 `json:"fresh_slowdown"`
 	// CoverageAt maps iteration counts (as decimal strings, JSON keys) to
 	// the cumulative coverage there — fixed probe points the trajectory of
 	// which is comparable across PRs for the same seed.
@@ -49,19 +63,31 @@ type Result struct {
 	TriagedBugs          int     `json:"triaged_bugs"`
 }
 
-func run(target string, seed int64, n, workers int) (*dejavuzz.Report, float64, error) {
+// run executes one campaign and reports throughput plus the heap-allocation
+// cost per iteration (mallocs and bytes, measured as a MemStats delta
+// around the run — the testing.AllocsPerRun technique applied to a whole
+// campaign).
+func run(target string, seed int64, n, workers int, freshContexts bool) (*dejavuzz.Report, float64, float64, float64, error) {
 	c, err := dejavuzz.New(target,
 		dejavuzz.WithSeed(seed),
 		dejavuzz.WithIterations(n),
 		dejavuzz.WithWorkers(workers),
 		dejavuzz.WithMergeEvery(16),
+		dejavuzz.WithFreshContexts(freshContexts),
 	)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, 0, err
 	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	rep := c.Run()
-	return rep, float64(n) / time.Since(start).Seconds(), nil
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocsPerIter := float64(after.Mallocs-before.Mallocs) / float64(n)
+	bytesPerIter := float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	return rep, float64(n) / elapsed.Seconds(), allocsPerIter, bytesPerIter, nil
 }
 
 // benchTriage measures finding throughput through a persistent triage
@@ -98,12 +124,12 @@ func main() {
 	target := flag.String("target", dejavuzz.DefaultTarget, "registered target to benchmark")
 	flag.Parse()
 
-	rep1, ips1, err := run(*target, *seed, *n, 1)
+	rep1, ips1, allocs1, bytes1, err := run(*target, *seed, *n, 1, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep8, ips8, err := run(*target, *seed, *n, 8)
+	rep8, ips8, _, _, err := run(*target, *seed, *n, 8, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -113,19 +139,35 @@ func main() {
 			rep1.Coverage, len(rep1.Findings), rep8.Coverage, len(rep8.Findings))
 		os.Exit(1)
 	}
+	repF, ipsF, allocsF, bytesF, err := run(*target, *seed, *n, 1, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if repF.Coverage != rep1.Coverage || len(repF.Findings) != len(rep1.Findings) {
+		fmt.Fprintf(os.Stderr, "reset-equivalence violation: reuse (%d cov, %d findings) vs fresh (%d cov, %d findings)\n",
+			rep1.Coverage, len(rep1.Findings), repF.Coverage, len(repF.Findings))
+		os.Exit(1)
+	}
 
 	res := Result{
-		Target:     *target,
-		Seed:       *seed,
-		Iterations: *n,
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		UnixTime:   time.Now().Unix(),
-		Workers1:   ips1,
-		Workers8:   ips8,
-		Speedup:    ips8 / ips1,
-		CoverageAt: map[string]int{},
-		Findings:   len(rep1.Findings),
+		Target:             *target,
+		Seed:               *seed,
+		Iterations:         *n,
+		NumCPU:             runtime.NumCPU(),
+		GoVersion:          runtime.Version(),
+		UnixTime:           time.Now().Unix(),
+		Workers1:           ips1,
+		Workers8:           ips8,
+		Speedup:            ips8 / ips1,
+		AllocsPerIter:      allocs1,
+		BytesPerIter:       bytes1,
+		FreshAllocsPerIter: allocsF,
+		FreshBytesPerIter:  bytesF,
+		AllocReduction:     allocsF / allocs1,
+		FreshSlowdown:      ips1 / ipsF,
+		CoverageAt:         map[string]int{},
+		Findings:           len(rep1.Findings),
 	}
 	hist := rep1.CoverageHistory()
 	for _, probe := range []int{16, 32, 64, 128} {
@@ -149,6 +191,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), coverage=%d, triage=%.0f findings/s -> %d bugs\n",
-		*out, ips1, ips8, res.Speedup, rep1.Coverage, res.TriageFindingsPerSec, res.TriagedBugs)
+	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), %.0f allocs/iter (fresh: %.0f, %.1fx reduction), coverage=%d, triage=%.0f findings/s -> %d bugs\n",
+		*out, ips1, ips8, res.Speedup, res.AllocsPerIter, res.FreshAllocsPerIter, res.AllocReduction, rep1.Coverage, res.TriageFindingsPerSec, res.TriagedBugs)
 }

@@ -64,6 +64,16 @@ type Options struct {
 	// region makes retrying cheap: only the secret is reloaded.
 	SecretRetries int
 
+	// FreshContexts disables per-shard execution-context reuse: every
+	// simulation rebuilds its DUT state (address space, core model, swap
+	// runtime) from scratch instead of resetting the shard's long-lived
+	// context in place. Reset is provably equivalent to fresh construction,
+	// so this never changes results — only wall-clock time and allocation
+	// volume. It exists as the reference mode the reset-equivalence tests
+	// compare against, and as an escape hatch. Like Workers, it is stripped
+	// by EquivalentTo and not serialised into checkpoints.
+	FreshContexts bool `json:"-"`
+
 	// OnEpoch, when set, is called after every merge barrier with the number
 	// of completed iterations, the campaign total and the merged coverage
 	// count. It runs on the engine goroutine at deterministic points, so it
@@ -97,11 +107,12 @@ func (o Options) Normalized() Options {
 }
 
 // EquivalentTo reports whether two option sets are determinism-equivalent:
-// equal in everything except Workers and the hooks, which only shape
-// wall-clock behaviour, never results.
+// equal in everything except Workers, FreshContexts and the hooks, which
+// only shape wall-clock behaviour, never results.
 func (o Options) EquivalentTo(other Options) bool {
 	a, b := o.Normalized(), other.Normalized()
 	a.Workers, b.Workers = 0, 0
+	a.FreshContexts, b.FreshContexts = false, false
 	a.OnEpoch, b.OnEpoch = nil, nil
 	a.OnBarrier, b.OnBarrier = nil, nil
 	// Options contains func fields (nil after the stripping above), so the
@@ -246,6 +257,9 @@ type Fuzzer struct {
 	coverage *Coverage
 	corpus   []gen.Seed // merged global corpus, mutated only at barriers
 	pipeline Pipeline
+	// seq is the lazily built sequential pipeline the exported Phase1/2/3
+	// and Reproduce entry points borrow (single-goroutine use only).
+	seq *uarchShard
 
 	// resume state (zero on a fresh campaign)
 	startIter  int
@@ -281,10 +295,22 @@ func NewFuzzer(opts Options) *Fuzzer {
 	f.pipeline = t.NewPipeline(f)
 	f.shards = make([]*shard, opts.Shards)
 	for i := range f.shards {
-		f.shards[i] = &shard{f: f, id: i}
+		// Every shard owns a pipeline instance — and through it a private
+		// execution context — for the campaign's whole lifetime.
+		f.shards[i] = &shard{f: f, id: i, pipe: f.pipeline.NewShard()}
 	}
 	f.iters = make([]IterStat, opts.Iterations)
 	return f
+}
+
+// seqShard returns the fuzzer's sequential three-phase pipeline, building it
+// on first use. It backs the exported Phase1/Phase2/Phase3/Reproduce entry
+// points (experiments, examples, tests); campaign shards have their own.
+func (f *Fuzzer) seqShard() *uarchShard {
+	if f.seq == nil {
+		f.seq = newUarchShard(f)
+	}
+	return f.seq
 }
 
 // NewFuzzerFromState rebuilds a fuzzer from a barrier snapshot. The
@@ -383,9 +409,10 @@ func (f *Fuzzer) runOpts(mode uarch.IFTMode, taintTrace bool) RunOpts {
 // depends only on (campaign seed, shard id, epoch) and the barrier-merged
 // global state, never on worker scheduling.
 type shard struct {
-	f   *Fuzzer
-	id  int
-	gen *gen.Generator // re-seeded every epoch from (seed, id, epoch)
+	f    *Fuzzer
+	id   int
+	pipe ShardPipeline  // long-lived pipeline instance (owns the exec context)
+	gen  *gen.Generator // re-seeded every epoch from (seed, id, epoch)
 
 	// corpus is the epoch-start snapshot of the global corpus (capacity-
 	// clamped so appends never alias sibling shards) plus local appends.
@@ -434,7 +461,7 @@ func (s *shard) runIteration(iter int) IterStat {
 	seed := s.nextSeed()
 	stat := IterStat{Iteration: iter, Trigger: seed.Trigger}
 
-	out := s.f.pipeline.RunIteration(iter, seed, s.cov)
+	out := s.pipe.RunIteration(iter, seed, s.cov)
 	stat.Triggered = out.Triggered
 	stat.TaintGain = out.TaintGain
 	stat.NewPoints = out.NewPoints
@@ -502,7 +529,11 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 		// instead of aliasing siblings.
 		snap := f.corpus[:len(f.corpus):len(f.corpus)]
 		for _, s := range f.shards {
-			s.gen = gen.NewEpochShard(f.opts.Seed, s.id, epoch)
+			if s.gen == nil {
+				s.gen = gen.NewEpochShard(f.opts.Seed, s.id, epoch)
+			} else {
+				s.gen.Reseed(gen.EpochShardSeed(f.opts.Seed, s.id, epoch))
+			}
 			s.corpus = snap
 			s.newSeeds = s.newSeeds[:0]
 			s.cov = f.coverage.NewDelta()

@@ -9,6 +9,8 @@ import (
 )
 
 // Phase1Result reports transient-window triggering and training reduction.
+// Results borrow the producing shard's stimulus and context buffers: they
+// are valid until the shard's next Phase1 call.
 type Phase1Result struct {
 	Stimulus *gen.Stimulus
 	Keep     []bool // surviving trigger-training packets after reduction
@@ -19,22 +21,30 @@ type Phase1Result struct {
 	Sims      int // simulations spent (budget accounting)
 }
 
+// Phase1 implements Step 1.1/1.2 on the fuzzer's sequential pipeline; see
+// uarchShard.Phase1. The result is valid until the next phase call on this
+// fuzzer.
+func (f *Fuzzer) Phase1(seed gen.Seed) (*Phase1Result, error) {
+	return f.seqShard().Phase1(seed)
+}
+
 // Phase1 implements Step 1.1/1.2: build the transient packet and derived (or
 // random) training, evaluate transient execution, and reduce training.
-func (f *Fuzzer) Phase1(seed gen.Seed) (*Phase1Result, error) {
-	st, err := f.gen.BuildStimulus(seed)
-	if err != nil {
+func (s *uarchShard) Phase1(seed gen.Seed) (*Phase1Result, error) {
+	if err := s.gen.BuildStimulusInto(&s.st1, seed); err != nil {
 		return nil, err
 	}
+	st := &s.st1
 	res := &Phase1Result{Stimulus: st}
-	keep := make([]bool, len(st.TriggerTrains))
-	for i := range keep {
-		keep[i] = true
+	keep := s.keep[:0]
+	for range st.TriggerTrains {
+		keep = append(keep, true)
 	}
+	s.keep = keep
 
-	run := RunSingle(st.BuildSchedule(keep), f.runOpts(uarch.IFTOff, false))
+	run := s.ctx.RunSingle(st.BuildScheduleInto(&s.sched, keep), s.f.runOpts(uarch.IFTOff, false))
 	res.Sims++
-	if !WindowTriggered(run, st) && !f.relocateWindow(run, st) {
+	if !WindowTriggered(run, st) && !relocateWindow(run, st) {
 		res.Keep = keep
 		return res, nil
 	}
@@ -42,13 +52,13 @@ func (f *Fuzzer) Phase1(seed gen.Seed) (*Phase1Result, error) {
 
 	// Step 1.2 training reduction: drop one packet at a time, re-simulate,
 	// and discard it permanently if the window still triggers.
-	if f.opts.UseReduction {
+	if s.f.opts.UseReduction {
 		for i := range st.TriggerTrains {
 			if !keep[i] {
 				continue
 			}
 			keep[i] = false
-			run := RunSingle(st.BuildSchedule(keep), f.runOpts(uarch.IFTOff, false))
+			run := s.ctx.RunSingle(st.BuildScheduleInto(&s.sched, keep), s.f.runOpts(uarch.IFTOff, false))
 			res.Sims++
 			if !WindowTriggered(run, st) {
 				keep[i] = true // necessary packet
@@ -64,7 +74,7 @@ func (f *Fuzzer) Phase1(seed gen.Seed) (*Phase1Result, error) {
 // steer the prediction at the planned window address, but a transient window
 // of the expected squash class anywhere in the swap region is still usable —
 // the fuzzer relocates the window onto it.
-func (f *Fuzzer) relocateWindow(run *SingleRun, st *gen.Stimulus) bool {
+func relocateWindow(run *SingleRun, st *gen.Stimulus) bool {
 	if st.Seed.Variant != gen.VariantRandom {
 		return false
 	}
@@ -119,7 +129,9 @@ func trainingOverhead(st *gen.Stimulus, keep []bool) (to, eto int) {
 	return to, eto
 }
 
-// Phase2Result reports window completion and coverage measurement.
+// Phase2Result reports window completion and coverage measurement. Results
+// borrow the producing shard's stimulus and context buffers: they are valid
+// until the shard's next Phase1/Phase2 call.
 type Phase2Result struct {
 	Stimulus  *gen.Stimulus
 	Run       *DiffRun
@@ -128,29 +140,31 @@ type Phase2Result struct {
 	Sims      int
 }
 
-// Phase2 implements Step 2.1/2.2: complete the window with secret access and
-// encode blocks, run the diffIFT differential testbench, and measure taint
-// coverage against the fuzzer's global matrix.
+// Phase2 implements Step 2.1/2.2 on the fuzzer's sequential pipeline; see
+// uarchShard.phase2Into. The result is valid until the next phase call on
+// this fuzzer.
 func (f *Fuzzer) Phase2(p1 *Phase1Result) (*Phase2Result, error) {
-	return f.phase2Into(p1, f.coverage)
+	return f.seqShard().phase2Into(p1, f.coverage)
 }
 
-// phase2Into is Phase2 with an explicit coverage sink (see CovSink).
-func (f *Fuzzer) phase2Into(p1 *Phase1Result, sink CovSink) (*Phase2Result, error) {
-	cst, err := f.gen.CompleteWindow(p1.Stimulus)
-	if err != nil {
+// phase2Into implements Step 2.1/2.2 with an explicit coverage sink (see
+// CovSink): complete the window with secret access and encode blocks, run
+// the diffIFT differential testbench, and measure taint coverage.
+func (s *uarchShard) phase2Into(p1 *Phase1Result, sink CovSink) (*Phase2Result, error) {
+	if err := s.gen.CompleteWindowInto(&s.st2, p1.Stimulus); err != nil {
 		return nil, err
 	}
-	retries := f.opts.SecretRetries
+	cst := &s.st2
+	retries := s.f.opts.SecretRetries
 	if retries < 1 {
 		retries = 1
 	}
 	var res *Phase2Result
 	newPoints := 0 // cumulative across retries: each attempt's log reaches the sink
 	for attempt := 0; attempt < retries; attempt++ {
-		opts := f.runOpts(uarch.IFTDiff, true)
+		opts := s.f.runOpts(uarch.IFTDiff, true)
 		opts.Secret = rotateSecret(DefaultSecret, attempt)
-		run := RunDiff(cst.BuildSchedule(p1.Keep), opts)
+		run := s.ctx.RunDiff(cst.BuildScheduleInto(&s.sched, p1.Keep), opts)
 		pair := run.Pair
 		r := &Phase2Result{Stimulus: cst, Run: run, Sims: 1}
 
@@ -251,9 +265,18 @@ type Phase3Result struct {
 	Sims          int
 }
 
-// Phase3 implements Step 3.1/3.2: constant-time analysis, encode
-// sanitisation and tainted-sink liveness analysis.
+// Phase3 implements Step 3.1/3.2 on the fuzzer's sequential pipeline; see
+// uarchShard.Phase3.
 func (f *Fuzzer) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, error) {
+	return f.seqShard().Phase3(p1, p2)
+}
+
+// Phase3 implements Step 3.1/3.2: constant-time analysis, encode
+// sanitisation and tainted-sink liveness analysis. The primary run's
+// observables (censuses, sinks, bug witnesses) are captured before the
+// sanitisation rerun, which executes on the context's dedicated
+// sanitisation slot.
+func (s *uarchShard) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, error) {
 	res := &Phase3Result{}
 	cst := p2.Stimulus
 	attack := "Spectre"
@@ -280,16 +303,22 @@ func (f *Fuzzer) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, erro
 		return res, nil
 	}
 
+	// Capture the primary run's census, sinks and witnesses before the
+	// sanitisation rerun (the rerun shares the shard's context; a dedicated
+	// slot keeps pair.A itself intact, but capturing first keeps the data
+	// flow one-directional).
+	full := censusMap(pair.A.Census())
+	sinks := pair.A.Sinks()
+	labels := bugLabels(pair.A)
+
 	// Encode sanitisation: rerun with the encode block nopped out and diff
 	// the per-module taint censuses to isolate encode-block taints.
-	sst, err := f.gen.Sanitized(cst)
-	if err != nil {
+	if err := s.gen.SanitizedInto(&s.st3, cst); err != nil {
 		return nil, err
 	}
-	sanRun := RunDiff(sst.BuildSchedule(p1.Keep), f.runOpts(uarch.IFTDiff, false))
+	sanRun := s.ctx.RunDiffSan(s.st3.BuildScheduleInto(&s.sched, p1.Keep), s.f.runOpts(uarch.IFTDiff, false))
 	res.Sims++
 	base := censusMap(sanRun.Pair.A.Census())
-	full := censusMap(pair.A.Census())
 	for m, n := range full {
 		if n > base[m] {
 			res.EncodedModules = append(res.EncodedModules, m)
@@ -307,12 +336,12 @@ func (f *Fuzzer) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, erro
 	}
 	var liveComponents []string
 	anyDead := false
-	for _, s := range pair.A.Sinks() {
-		if !encoded[s.Module] {
+	for _, snk := range sinks {
+		if !encoded[snk.Module] {
 			continue
 		}
-		if !f.opts.UseLiveness || s.Live {
-			liveComponents = append(liveComponents, s.Module)
+		if !s.f.opts.UseLiveness || snk.Live {
+			liveComponents = append(liveComponents, snk.Module)
 		} else {
 			anyDead = true
 		}
@@ -327,7 +356,7 @@ func (f *Fuzzer) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, erro
 		AttackType: attack,
 		Window:     cst.Seed.Trigger,
 		Components: liveComponents,
-		BugLabels:  bugLabels(pair.A),
+		BugLabels:  labels,
 		Seed:       cst.Seed,
 	}
 	return res, nil

@@ -7,6 +7,7 @@ package core
 
 import (
 	"dejavuzz/internal/gen"
+	"dejavuzz/internal/mem"
 	"dejavuzz/internal/swapmem"
 	"dejavuzz/internal/uarch"
 )
@@ -34,59 +35,147 @@ func (o *RunOpts) defaults() {
 	}
 }
 
-// SingleRun is a finished single-DUT simulation.
+// SingleRun is a finished single-DUT simulation. Runs returned by an
+// ExecContext borrow the context's state: they are valid until the next run
+// on the same context slot.
 type SingleRun struct {
 	Core *uarch.Core
 	RT   *swapmem.Runtime
 }
 
-// DiffRun is a finished differential (two-DUT) simulation.
+// DiffRun is a finished differential (two-DUT) simulation. Runs returned by
+// an ExecContext borrow the context's state: they are valid until the next
+// run on the same context slot.
 type DiffRun struct {
 	Pair     *uarch.Pair
 	RTA, RTB *swapmem.Runtime
 }
 
-// RunSingle executes a swap schedule on one DUT instance.
-func RunSingle(sched *swapmem.Schedule, opts RunOpts) *SingleRun {
-	opts.defaults()
-	space := swapmem.NewSpace(opts.Secret)
-	c := uarch.NewCore(opts.Cfg, space, opts.Mode)
-	c.TaintTraceOn = opts.TaintTrace
-	rt := swapmem.NewRuntime(c, space, sched)
-	rt.Start()
-	c.Run(opts.MaxCycles)
-	return &SingleRun{Core: c, RT: rt}
+// instance is one reusable DUT slot: an address space, a core over it and a
+// swap runtime driving it. Slots are built lazily on first use and Reset in
+// place afterwards.
+type instance struct {
+	space *mem.Space
+	core  *uarch.Core
+	rt    *swapmem.Runtime
 }
 
-func runDiffSecrets(sched *swapmem.Schedule, opts RunOpts, secretA, secretB []byte) *DiffRun {
-	spaceA := swapmem.NewSpace(secretA)
-	spaceB := swapmem.NewSpace(secretB)
-	a := uarch.NewCore(opts.Cfg, spaceA, uarch.IFTDiff)
-	b := uarch.NewCore(opts.Cfg, spaceB, uarch.IFTDiff)
-	a.TaintTraceOn = opts.TaintTrace
-	b.TaintTraceOn = opts.TaintTrace
-	rta := swapmem.NewRuntime(a, spaceA, sched.Clone())
-	rtb := swapmem.NewRuntime(b, spaceB, sched.Clone())
-	rta.Start()
-	rtb.Start()
-	p := uarch.NewPair(a, b)
+// prepare readies the slot for a run: fresh construction on first use (or
+// always, in a fresh context), in-place reset otherwise. The reset path is
+// provably equivalent to construction — NewSpace/NewCore/NewRuntime are
+// implemented in terms of the same Reset/Rebind operations.
+func (in *instance) prepare(fresh bool, secret []byte, cfg uarch.Config, mode uarch.IFTMode,
+	sched *swapmem.Schedule, taintTrace bool) {
+	if fresh || in.space == nil {
+		in.space = swapmem.NewSpace(secret)
+		in.core = uarch.NewCore(cfg, in.space, mode)
+		in.rt = swapmem.NewRuntime(in.core, in.space, sched)
+	} else {
+		swapmem.ResetSpace(in.space, secret)
+		in.core.Reset(cfg, in.space, mode)
+		in.rt.Rebind(in.core, in.space, sched)
+	}
+	in.core.TaintTraceOn = taintTrace
+}
+
+// ExecContext is a long-lived, resettable execution plane for one pipeline
+// shard: it owns the DUT state (spaces, cores, runtimes) for the single-
+// instance slot, the primary differential slot and the sanitisation
+// differential slot, and resets it between simulations instead of
+// reallocating — the hot-path optimisation the campaign engine's throughput
+// rests on. A context is single-goroutine; the campaign engine gives every
+// deterministic shard its own (no locks, no pooling, no cross-shard
+// sharing).
+type ExecContext struct {
+	// fresh disables reuse: every run rebuilds its DUT state from scratch.
+	// This is the reference behaviour reset-equivalence is proven against.
+	fresh bool
+
+	single instance
+	diffA  instance
+	diffB  instance
+	sanA   instance
+	sanB   instance
+}
+
+// NewExecContext returns a reusing execution context.
+func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// NewFreshContext returns a context that rebuilds all DUT state on every
+// run — per-simulation construction, exactly what the engine did before
+// contexts existed. Campaigns run with Options.FreshContexts use it; the
+// reset-equivalence tests pin that both modes produce byte-identical
+// reports.
+func NewFreshContext() *ExecContext { return &ExecContext{fresh: true} }
+
+// RunSingle executes a swap schedule on the context's single-DUT slot.
+func (x *ExecContext) RunSingle(sched *swapmem.Schedule, opts RunOpts) *SingleRun {
+	opts.defaults()
+	x.single.prepare(x.fresh, opts.Secret, opts.Cfg, opts.Mode, sched, opts.TaintTrace)
+	x.single.rt.Start()
+	x.single.core.Run(opts.MaxCycles)
+	return &SingleRun{Core: x.single.core, RT: x.single.rt}
+}
+
+func (x *ExecContext) runDiffSecrets(ia, ib *instance, sched *swapmem.Schedule, opts RunOpts, secretA, secretB []byte) *DiffRun {
+	// Taint tracing records observables on instance A only: every analysis
+	// (coverage log, taint-gain series, censuses, sinks) reads the A
+	// instance; B exists to resolve the cross-instance comparisons, and
+	// tracing it would double the per-cycle census cost for data nobody
+	// reads. Recording is observation-only, so this cannot change results.
+	ia.prepare(x.fresh, secretA, opts.Cfg, uarch.IFTDiff, sched, opts.TaintTrace)
+	ib.prepare(x.fresh, secretB, opts.Cfg, uarch.IFTDiff, sched, false)
+	ia.rt.Start()
+	ib.rt.Start()
+	p := uarch.NewPair(ia.core, ib.core)
 	p.Run(opts.MaxCycles)
-	return &DiffRun{Pair: p, RTA: rta, RTB: rtb}
+	return &DiffRun{Pair: p, RTA: ia.rt, RTB: ib.rt}
 }
 
-// RunDiff executes a swap schedule on the differential testbench: two DUTs
-// with complementary secrets, coupled for diffIFT.
+// RunDiff executes a swap schedule on the context's primary differential
+// slot: two DUTs with complementary secrets, coupled for diffIFT.
+func (x *ExecContext) RunDiff(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
+	opts.defaults()
+	return x.runDiffSecrets(&x.diffA, &x.diffB, sched, opts, opts.Secret, swapmem.FlipSecret(opts.Secret))
+}
+
+// RunDiffSan executes on the sanitisation differential slot. Phase 3 reruns
+// the stimulus with the encode block nopped out while it still compares
+// censuses against the primary run; a separate slot keeps the primary run's
+// observables borrowable across the rerun.
+func (x *ExecContext) RunDiffSan(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
+	opts.defaults()
+	return x.runDiffSecrets(&x.sanA, &x.sanB, sched, opts, opts.Secret, swapmem.FlipSecret(opts.Secret))
+}
+
+// RunDiffFN executes the diffIFT false-negative worst case on the primary
+// slot: both instances carry the SAME secret, so every cross-instance
+// comparison is equal and all control taints are suppressed (Figure 6's
+// diffIFT_FN series).
+func (x *ExecContext) RunDiffFN(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
+	opts.defaults()
+	return x.runDiffSecrets(&x.diffA, &x.diffB, sched, opts, opts.Secret, opts.Secret)
+}
+
+// RunSingle executes a swap schedule on a freshly constructed DUT instance
+// (one-shot; experiments and examples use this, the campaign hot path goes
+// through per-shard ExecContexts).
+func RunSingle(sched *swapmem.Schedule, opts RunOpts) *SingleRun {
+	return NewFreshContext().RunSingle(sched, opts)
+}
+
+// RunDiff executes a swap schedule on a freshly constructed differential
+// testbench: two DUTs with complementary secrets, coupled for diffIFT.
 func RunDiff(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
-	opts.defaults()
-	return runDiffSecrets(sched, opts, opts.Secret, swapmem.FlipSecret(opts.Secret))
+	return NewFreshContext().RunDiff(sched, opts)
 }
 
-// RunDiffFN executes the diffIFT false-negative worst case: both instances
-// carry the SAME secret, so every cross-instance comparison is equal and all
-// control taints are suppressed (Figure 6's diffIFT_FN series).
+// RunDiffFN executes the diffIFT false-negative worst case on fresh
+// instances: both carry the SAME secret, so every cross-instance comparison
+// is equal and all control taints are suppressed (Figure 6's diffIFT_FN
+// series).
 func RunDiffFN(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
-	opts.defaults()
-	return runDiffSecrets(sched, opts, opts.Secret, opts.Secret)
+	return NewFreshContext().RunDiffFN(sched, opts)
 }
 
 // expectedSquash maps a trigger type to the squash class its transient

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dejavuzz/internal/gen"
+	"dejavuzz/internal/swapmem"
 	"dejavuzz/internal/uarch"
 )
 
@@ -39,18 +40,28 @@ type Outcome struct {
 	DeadSinksOnly bool
 }
 
-// Pipeline turns generated seeds into iteration outcomes for one campaign.
-// The engine calls RunIteration concurrently from shard workers with
-// distinct sinks; implementations must be deterministic in (seed, sink
-// state) and must not share mutable state between calls.
+// Pipeline is a per-campaign factory for per-shard execution pipelines.
+// The campaign engine calls NewShard once per deterministic shard at
+// construction time; each ShardPipeline is then driven by at most one
+// worker at a time, so implementations can carry long-lived mutable state
+// (execution contexts, scratch buffers) without locks.
 type Pipeline interface {
+	NewShard() ShardPipeline
+}
+
+// ShardPipeline turns generated seeds into iteration outcomes for one shard
+// of a campaign. RunIteration is never called concurrently on the same
+// ShardPipeline, but sibling shards run in parallel; implementations must
+// be deterministic in (seed, sink state) and must not share mutable state
+// with sibling shards.
+type ShardPipeline interface {
 	RunIteration(iter int, seed gen.Seed, sink CovSink) Outcome
 }
 
 // Target is a pluggable design under test. A target supplies the stimulus
 // personality the generator builds programs for and the per-campaign
-// pipeline that executes them — the seam that lets one campaign engine
-// drive the cycle-accurate uarch models, the architectural isasim
+// pipeline factory that executes them — the seam that lets one campaign
+// engine drive the cycle-accurate uarch models, the architectural isasim
 // differential pair, or any future backend.
 type Target interface {
 	// Name is the registry key (e.g. "boom", "xiangshan", "isasim").
@@ -59,8 +70,9 @@ type Target interface {
 	Description() string
 	// Kind is the core personality seeds and stimuli are generated for.
 	Kind() uarch.CoreKind
-	// NewPipeline builds the iteration pipeline for a campaign. The fuzzer
-	// carries the resolved options, core config and stimulus generator.
+	// NewPipeline builds the per-shard pipeline factory for a campaign. The
+	// fuzzer carries the resolved options, core config and stimulus
+	// generator.
 	NewPipeline(f *Fuzzer) Pipeline
 }
 
@@ -142,18 +154,50 @@ func init() {
 	})
 }
 
-// uarchPipeline is the paper's three-phase pipeline (transient window
-// triggering, transient execution exploration, transient leakage analysis)
-// over the cycle-accurate core models.
+// uarchPipeline is the per-campaign factory for the paper's three-phase
+// pipeline (transient window triggering, transient execution exploration,
+// transient leakage analysis) over the cycle-accurate core models.
 type uarchPipeline struct {
 	f *Fuzzer
 }
 
-// RunIteration executes one complete fuzzing iteration (all three phases).
-func (p uarchPipeline) RunIteration(iter int, seed gen.Seed, sink CovSink) Outcome {
-	f := p.f
+func (p uarchPipeline) NewShard() ShardPipeline { return newUarchShard(p.f) }
+
+// uarchShard is one shard's three-phase pipeline instance. It owns the
+// shard's execution context (resettable DUT state), a builder generator
+// (assembly-materialisation scratch), reusable stimulus buffers for the
+// three construction stages and a reusable swap schedule — the complete
+// per-iteration working set, allocated once per campaign shard.
+type uarchShard struct {
+	f   *Fuzzer
+	gen *gen.Generator // stimulus builder; per-shard for its scratch buffers
+	ctx *ExecContext
+
+	sched swapmem.Schedule // reusable swap-schedule buffer
+	st1   gen.Stimulus     // Phase-1 stimulus buffer
+	st2   gen.Stimulus     // Phase-2 completed-window buffer
+	st3   gen.Stimulus     // Phase-3 sanitised buffer
+	keep  []bool           // reusable training-reduction mask
+}
+
+// newUarchShard builds a shard pipeline for the fuzzer's options. Builds are
+// pure functions of the seed, so the builder generator's RNG seed is
+// irrelevant — it exists for its scratch buffers.
+func newUarchShard(f *Fuzzer) *uarchShard {
+	s := &uarchShard{f: f, gen: gen.New(0)}
+	if f.opts.FreshContexts {
+		s.ctx = NewFreshContext()
+	} else {
+		s.ctx = NewExecContext()
+	}
+	return s
+}
+
+// RunIteration executes one complete fuzzing iteration (all three phases)
+// on the shard's borrowed context.
+func (s *uarchShard) RunIteration(iter int, seed gen.Seed, sink CovSink) Outcome {
 	out := Outcome{}
-	p1, err := f.Phase1(seed)
+	p1, err := s.Phase1(seed)
 	if err != nil {
 		return out
 	}
@@ -163,7 +207,7 @@ func (p uarchPipeline) RunIteration(iter int, seed gen.Seed, sink CovSink) Outco
 	}
 	out.Triggered = true
 
-	p2, err := f.phase2Into(p1, sink)
+	p2, err := s.phase2Into(p1, sink)
 	if err != nil {
 		return out
 	}
@@ -175,7 +219,7 @@ func (p uarchPipeline) RunIteration(iter int, seed gen.Seed, sink CovSink) Outco
 		return out
 	}
 
-	p3, err := f.Phase3(p1, p2)
+	p3, err := s.Phase3(p1, p2)
 	if err != nil {
 		return out
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"dejavuzz/internal/isa"
 	"dejavuzz/internal/swapmem"
@@ -119,13 +120,48 @@ type Seed struct {
 }
 
 // Generator produces seeds and stimuli deterministically from its RNG.
+// A Generator also owns the scratch buffers stimulus construction
+// materialises assembly into, so one long-lived Generator per shard makes
+// stimulus building allocation-light; those buffers make a Generator
+// single-goroutine (campaign shards each own one).
 type Generator struct {
 	rng *rand.Rand
+
+	// lines is the assembly-materialisation scratch reused across packet
+	// builds (valid only within one build call).
+	lines []string
+	// brng is the per-stimulus derivation RNG, reseeded from Seed.Rand for
+	// every build (so builds stay pure functions of the seed).
+	brng *rand.Rand
+	// trainCache memoises derived training packets, which are pure
+	// functions of (packet name, body, trigger offset) — a campaign draws
+	// them from a small closed set, so most rebuilds are cache hits.
+	// Cached packets are shared read-only across stimuli, exactly like a
+	// rebuilt packet is shared between a stimulus and its completed copy.
+	trainCache map[string]*swapmem.Packet
 }
 
 // New returns a generator with the given RNG seed.
 func New(seed int64) *Generator {
 	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reseed returns the generator's RNG to the state New(seed) produces,
+// keeping the generator's scratch buffers. Equivalent to replacing the
+// generator with a fresh one — without the allocation.
+func (g *Generator) Reseed(seed int64) {
+	g.rng.Seed(seed)
+}
+
+// buildRand returns the generator's reusable derivation RNG seeded to the
+// state rand.New(rand.NewSource(seed)) produces.
+func (g *Generator) buildRand(seed int64) *rand.Rand {
+	if g.brng == nil {
+		g.brng = rand.New(rand.NewSource(seed))
+		return g.brng
+	}
+	g.brng.Seed(seed)
+	return g.brng
 }
 
 // splitMix64 is the SplitMix64 finaliser, used to derive statistically
@@ -231,19 +267,33 @@ func triggerAddr(s Seed) uint64 {
 // BuildStimulus constructs the Phase-1 stimulus: transient packet with a
 // dummy (nop) window plus derived or random trigger-training packets.
 func (g *Generator) BuildStimulus(seed Seed) (*Stimulus, error) {
-	rng := rand.New(rand.NewSource(seed.Rand))
-	st := &Stimulus{Seed: seed, TriggerPC: triggerAddr(seed)}
-
-	body := dummyWindow(seed.WindowLen)
-	if err := buildTransient(st, body); err != nil {
+	st := &Stimulus{}
+	if err := g.BuildStimulusInto(st, seed); err != nil {
 		return nil, err
 	}
-	if seed.Variant == VariantRandom {
-		st.TriggerTrains = randomTrainings(st, rng, 6)
-	} else {
-		st.TriggerTrains = deriveTrainings(st, rng)
-	}
 	return st, nil
+}
+
+// BuildStimulusInto is BuildStimulus materialised into a caller-provided
+// Stimulus, reusing its packet-slice capacity. The campaign engine hands
+// each shard pipeline a small set of Stimulus buffers that live for the
+// whole campaign; the result is only valid until the next build into the
+// same buffer.
+func (g *Generator) BuildStimulusInto(st *Stimulus, seed Seed) error {
+	rng := g.buildRand(seed.Rand)
+	trains := st.TriggerTrains[:0]
+	*st = Stimulus{Seed: seed, TriggerPC: triggerAddr(seed), Transient: st.Transient}
+
+	body := dummyWindow(seed.WindowLen)
+	if err := g.buildTransient(st, body); err != nil {
+		return err
+	}
+	if seed.Variant == VariantRandom {
+		st.TriggerTrains = g.randomTrainings(trains, st, rng, 6)
+	} else {
+		st.TriggerTrains = g.deriveTrainings(trains, st, rng)
+	}
+	return nil
 }
 
 // dummyWindow is Phase 1's placeholder payload.
@@ -256,11 +306,14 @@ func dummyWindow(n int) []string {
 }
 
 // buildTransient assembles the transient packet for the seed's trigger type
-// with the given window body, filling in TriggerPC/WindowLo/WindowHi.
-func buildTransient(st *Stimulus, windowBody []string) error {
+// with the given window body, filling in TriggerPC/WindowLo/WindowHi. The
+// assembly lines are materialised into the generator's scratch buffer and
+// the packet struct is reused when the stimulus already carries one.
+func (g *Generator) buildTransient(st *Stimulus, windowBody []string) error {
 	s := st.Seed
 	T := st.TriggerPC
-	var lines []string
+	lines := g.lines[:0]
+	defer func() { g.lines = lines }()
 	emit := func(l ...string) { lines = append(lines, l...) }
 	train := 0 // transient packets count no training instructions
 
@@ -376,7 +429,10 @@ func buildTransient(st *Stimulus, windowBody []string) error {
 	if err != nil {
 		return fmt.Errorf("gen: transient packet: %w", err)
 	}
-	st.Transient = &swapmem.Packet{
+	if st.Transient == nil {
+		st.Transient = &swapmem.Packet{}
+	}
+	*st.Transient = swapmem.Packet{
 		Name:       "transient",
 		Kind:       swapmem.PacketTransient,
 		Image:      img,
@@ -399,10 +455,43 @@ func countWords(lines []string) (int, error) {
 	return len(p.Words), nil
 }
 
+// cachedTrainingPacket is trainingPacket behind the generator's memo table.
+// A derived training packet is a pure function of (name, setup, body,
+// trigger offset), and derived trainings draw from a small closed set of
+// bodies, so campaigns hit the cache on almost every rebuild. Random
+// (DejaVuzz*) trainings bypass this — their bodies are rng-unique.
+func (g *Generator) cachedTrainingPacket(name string, st *Stimulus, setup, body []string) (*swapmem.Packet, error) {
+	var key strings.Builder
+	key.Grow(64)
+	key.WriteString(name)
+	fmt.Fprintf(&key, "|%d", st.Seed.TriggerOff)
+	for _, l := range setup {
+		key.WriteByte('|')
+		key.WriteString(l)
+	}
+	key.WriteByte('#')
+	for _, l := range body {
+		key.WriteByte('|')
+		key.WriteString(l)
+	}
+	k := key.String()
+	if p, ok := g.trainCache[k]; ok {
+		return p, nil
+	}
+	p, err := g.trainingPacket(name, st, setup, body)
+	if err == nil {
+		if g.trainCache == nil {
+			g.trainCache = make(map[string]*swapmem.Packet)
+		}
+		g.trainCache[k] = p
+	}
+	return p, err
+}
+
 // trainingPacket assembles a trigger-training packet: setup, pad nops so the
 // training instruction aligns with the trigger PC, the training body, and a
-// terminator.
-func trainingPacket(name string, st *Stimulus, setup, body []string) (*swapmem.Packet, error) {
+// terminator. Lines are materialised into the generator's scratch buffer.
+func (g *Generator) trainingPacket(name string, st *Stimulus, setup, body []string) (*swapmem.Packet, error) {
 	setupWords, err := countWords(setup)
 	if err != nil {
 		return nil, err
@@ -411,7 +500,8 @@ func trainingPacket(name string, st *Stimulus, setup, body []string) (*swapmem.P
 	if pad < 0 {
 		pad = 0
 	}
-	var lines []string
+	lines := g.lines[:0]
+	defer func() { g.lines = lines }()
 	lines = append(lines, setup...)
 	for i := 0; i < pad; i++ {
 		lines = append(lines, "nop")
@@ -435,9 +525,10 @@ func trainingPacket(name string, st *Stimulus, setup, body []string) (*swapmem.P
 // deriveTrainings implements the training derivation strategy: targeted
 // training whose instruction aligns with the trigger PC and whose control
 // flow matches the transient window, plus decoy candidates that the
-// training-reduction step is expected to discard.
-func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
-	var out []*swapmem.Packet
+// training-reduction step is expected to discard. Packets are appended to
+// dst (typically a recycled slice).
+func (g *Generator) deriveTrainings(dst []*swapmem.Packet, st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
+	out := dst
 	add := func(p *swapmem.Packet, err error) {
 		if err != nil {
 			panic(fmt.Sprintf("gen: derived training: %v", err))
@@ -450,7 +541,7 @@ func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
 	case TrigBranchMispred:
 		// Loop a taken branch at the trigger PC three times; its target is
 		// the window address (control-flow matching).
-		add(trainingPacket("train-branch", st,
+		add(g.cachedTrainingPacket("train-branch", st,
 			[]string{"li a3, 3"},
 			[]string{
 				"beq zero, zero, taken",
@@ -463,7 +554,7 @@ func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
 	case TrigJumpMispred:
 		// Train the indirect-target predictor with the window address,
 		// repeated to satisfy target-confidence thresholds.
-		add(trainingPacket("train-jalr", st,
+		add(g.cachedTrainingPacket("train-jalr", st,
 			[]string{fmt.Sprintf("li a2, %#x", win), "li a3, 3"},
 			[]string{
 				"jalr x0, 0(a2)", // jumps to win
@@ -476,7 +567,7 @@ func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
 	case TrigReturnMispred:
 		// A call whose return address equals the window start: the auipc of
 		// `call` sits at the trigger PC, its jalr at T+4, so ra = T+8 = win.
-		add(trainingPacket("train-ret", st,
+		add(g.cachedTrainingPacket("train-ret", st,
 			nil,
 			[]string{fmt.Sprintf("call %#x", swapmem.SwapDoneAddr)}))
 	}
@@ -486,7 +577,7 @@ func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
 	decoys := []string{"add t0, t1, s2", "sub t1, t0, s0", "mul t2, t0, t1", "andi t3, t0, 0xf"}
 	rng.Shuffle(len(decoys), func(i, j int) { decoys[i], decoys[j] = decoys[j], decoys[i] })
 	for i := 0; i < 2; i++ {
-		add(trainingPacket(fmt.Sprintf("decoy-%d", i), st, nil,
+		add(g.cachedTrainingPacket(fmt.Sprintf("decoy-%d", i), st, nil,
 			[]string{decoys[i], "ecall"}))
 	}
 	return out
@@ -494,8 +585,9 @@ func deriveTrainings(st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
 
 // randomTrainings implements DejaVuzz*: random instructions aligned to the
 // trigger PC without any derivation from transient execution information.
-func randomTrainings(st *Stimulus, rng *rand.Rand, n int) []*swapmem.Packet {
-	var out []*swapmem.Packet
+// Packets are appended to dst (typically a recycled slice).
+func (g *Generator) randomTrainings(dst []*swapmem.Packet, st *Stimulus, rng *rand.Rand, n int) []*swapmem.Packet {
+	out := dst
 	for i := 0; i < n; i++ {
 		var setup, body []string
 		switch rng.Intn(8) {
@@ -532,7 +624,7 @@ func randomTrainings(st *Stimulus, rng *rand.Rand, n int) []*swapmem.Packet {
 				"xor t2, t2, t3", "andi t4, t5, 0x3f", "sll t1, t1, t0"}
 			body = []string{ops[rng.Intn(len(ops))], "ecall"}
 		}
-		p, err := trainingPacket(fmt.Sprintf("rand-%d", i), st, setup, body)
+		p, err := g.trainingPacket(fmt.Sprintf("rand-%d", i), st, setup, body)
 		if err == nil {
 			out = append(out, p)
 		}
@@ -543,42 +635,62 @@ func randomTrainings(st *Stimulus, rng *rand.Rand, n int) []*swapmem.Packet {
 // CompleteWindow implements Step 2.1: replace the dummy window with the
 // secret-access and secret-encoding blocks, and derive window training.
 func (g *Generator) CompleteWindow(st *Stimulus) (*Stimulus, error) {
-	rng := rand.New(rand.NewSource(st.Seed.Rand ^ 0x5eed))
+	n := &Stimulus{}
+	if err := g.CompleteWindowInto(n, st); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// CompleteWindowInto is CompleteWindow materialised into a caller-provided
+// Stimulus (which must be distinct from st).
+func (g *Generator) CompleteWindowInto(dst, st *Stimulus) error {
+	rng := g.buildRand(st.Seed.Rand ^ 0x5eed)
 	access := accessBlock(st.Seed)
 	encode := encodeBlock(st.Seed, rng)
 
 	body := append(append([]string{}, access...), encode...)
-	n := &Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC}
-	if err := buildTransient(n, body); err != nil {
-		return nil, err
+	*dst = Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC, Transient: dst.Transient}
+	if err := g.buildTransient(dst, body); err != nil {
+		return err
 	}
-	n.TriggerTrains = st.TriggerTrains
-	n.EncodeLines = encode
-	n.Completed = true
+	dst.TriggerTrains = st.TriggerTrains
+	dst.EncodeLines = encode
+	dst.Completed = true
 
 	// Window training: warm the secret's cache/TLB state before training.
 	// Memory-disambiguation windows additionally warm the pointer slot so
 	// the speculative loads complete inside the (short) ordering window.
 	wt, err := windowTrainPacket(st.Seed.Trigger == TrigMemDisambig)
 	if err == nil {
-		n.WindowTrains = []*swapmem.Packet{wt}
+		dst.WindowTrains = []*swapmem.Packet{wt}
 	}
-	return n, nil
+	return nil
 }
 
 // Sanitized rebuilds the transient packet with the encode block replaced by
 // nops (Step 3.1's encode sanitisation).
 func (g *Generator) Sanitized(st *Stimulus) (*Stimulus, error) {
-	access := accessBlock(st.Seed)
-	body := append(append([]string{}, access...), dummyWindow(len(st.EncodeLines))...)
-	n := &Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC}
-	if err := buildTransient(n, body); err != nil {
+	n := &Stimulus{}
+	if err := g.SanitizedInto(n, st); err != nil {
 		return nil, err
 	}
-	n.TriggerTrains = st.TriggerTrains
-	n.WindowTrains = st.WindowTrains
-	n.Completed = true
 	return n, nil
+}
+
+// SanitizedInto is Sanitized materialised into a caller-provided Stimulus
+// (which must be distinct from st).
+func (g *Generator) SanitizedInto(dst, st *Stimulus) error {
+	access := accessBlock(st.Seed)
+	body := append(append([]string{}, access...), dummyWindow(len(st.EncodeLines))...)
+	*dst = Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC, Transient: dst.Transient}
+	if err := g.buildTransient(dst, body); err != nil {
+		return err
+	}
+	dst.TriggerTrains = st.TriggerTrains
+	dst.WindowTrains = st.WindowTrains
+	dst.Completed = true
+	return nil
 }
 
 // accessBlock emits the secret access: load the secret into s0, optionally
@@ -664,8 +776,26 @@ func encodeBlock(s Seed, rng *rand.Rand) []string {
 }
 
 // windowTrainPacket warms the secret into the data cache and TLBs, and
-// optionally the disambiguation pointer slot.
+// optionally the disambiguation pointer slot. The two variants are
+// seed-independent, so they are assembled once and shared read-only across
+// all shards and campaigns.
 func windowTrainPacket(warmPtr bool) (*swapmem.Packet, error) {
+	i := 0
+	if warmPtr {
+		i = 1
+	}
+	c := &windowTrainCache[i]
+	c.once.Do(func() { c.p, c.err = buildWindowTrainPacket(warmPtr) })
+	return c.p, c.err
+}
+
+var windowTrainCache [2]struct {
+	once sync.Once
+	p    *swapmem.Packet
+	err  error
+}
+
+func buildWindowTrainPacket(warmPtr bool) (*swapmem.Packet, error) {
 	src := fmt.Sprintf("li t0, %#x\nld a1, 0(t0)\n", uint64(swapmem.SecretAddr))
 	if warmPtr {
 		src += fmt.Sprintf("li t0, %#x\nld a1, 0(t0)\n", uint64(swapmem.DataBase+0x300))
@@ -688,7 +818,15 @@ func windowTrainPacket(warmPtr bool) (*swapmem.Packet, error) {
 // trigger training (optionally masked by `keep`), then — after the secret
 // permission update for Meltdown-type seeds — the transient packet.
 func (st *Stimulus) BuildSchedule(keep []bool) *swapmem.Schedule {
-	sched := &swapmem.Schedule{}
+	return st.BuildScheduleInto(&swapmem.Schedule{}, keep)
+}
+
+// BuildScheduleInto is BuildSchedule materialised into a caller-provided
+// schedule, reusing its step-slice capacity. The result is valid until the
+// next build into the same schedule; swap runtimes never mutate a bound
+// schedule, so one buffer per pipeline suffices.
+func (st *Stimulus) BuildScheduleInto(sched *swapmem.Schedule, keep []bool) *swapmem.Schedule {
+	sched.Steps = sched.Steps[:0]
 	for _, p := range st.WindowTrains {
 		sched.Append(p)
 	}

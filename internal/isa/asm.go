@@ -11,13 +11,26 @@ type Program struct {
 	Base   uint64
 	Words  []uint32
 	Labels map[string]uint64
+
+	// bytes is the little-endian rendering, computed eagerly by Asm so the
+	// hot packet-load path shares one buffer instead of re-rendering per
+	// load. Hand-built Programs leave it nil and render on demand.
+	bytes []byte
 }
 
 // Size returns the image size in bytes.
 func (p *Program) Size() int { return len(p.Words) * 4 }
 
-// Bytes renders the image as little-endian bytes.
+// Bytes renders the image as little-endian bytes. The returned slice is
+// shared across calls for Asm-built programs; callers must not mutate it.
 func (p *Program) Bytes() []byte {
+	if p.bytes != nil {
+		return p.bytes
+	}
+	return p.renderBytes()
+}
+
+func (p *Program) renderBytes() []byte {
 	out := make([]byte, 0, len(p.Words)*4)
 	for _, w := range p.Words {
 		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
@@ -38,17 +51,27 @@ func Asm(base uint64, src string) (*Program, error) {
 		no   int
 		text string
 	}
-	var lines []line
-	for no, raw := range strings.Split(src, "\n") {
-		text := raw
-		if i := strings.IndexAny(text, "#;"); i >= 0 {
+	lines := make([]line, 0, strings.Count(src, "\n")+1)
+	rest := src
+	for no := 1; rest != ""; no++ {
+		var text string
+		if i := strings.IndexByte(rest, '\n'); i >= 0 {
+			text, rest = rest[:i], rest[i+1:]
+		} else {
+			text, rest = rest, ""
+		}
+		// Two IndexByte scans beat IndexAny's rune loop on this hot path.
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		if i := strings.IndexByte(text, ';'); i >= 0 {
 			text = text[:i]
 		}
 		text = strings.TrimSpace(text)
 		if text == "" {
 			continue
 		}
-		lines = append(lines, line{no + 1, text})
+		lines = append(lines, line{no, text})
 	}
 
 	// Pass 1: sizes and labels.
@@ -61,7 +84,7 @@ func Asm(base uint64, src string) (*Program, error) {
 		addr  uint64
 		words int
 	}
-	var items []item
+	items := make([]item, 0, len(lines))
 	for _, ln := range lines {
 		text := ln.text
 		for {
@@ -93,7 +116,14 @@ func Asm(base uint64, src string) (*Program, error) {
 
 	// Pass 2: encode.
 	p := &Program{Base: base, Labels: labels}
+	p.Words = make([]uint32, 0, (pc-base)/4)
 	for _, it := range items {
+		// Fast path for padding: generated stimuli are dominated by
+		// alignment nops, which always encode to the same word.
+		if it.mnem == "nop" && len(it.args) == 0 {
+			p.Words = append(p.Words, nopWord)
+			continue
+		}
 		insts, err := encodeInst(it.mnem, it.args, it.addr, labels)
 		if err != nil {
 			return nil, fmt.Errorf("asm:%d: %v", it.no, err)
@@ -107,8 +137,12 @@ func Asm(base uint64, src string) (*Program, error) {
 		}
 		p.Words = append(p.Words, ws...)
 	}
+	p.bytes = p.renderBytes()
 	return p, nil
 }
+
+// nopWord is the canonical encoding of nop (addi x0, x0, 0).
+const nopWord uint32 = 0x0000_0013
 
 // MustAsm is Asm that panics on error; for static firmware images and tests.
 func MustAsm(base uint64, src string) *Program {
@@ -138,18 +172,29 @@ func isIdent(s string) bool {
 }
 
 func splitInst(text string) (string, []string) {
-	fields := strings.Fields(text)
-	mnem := strings.ToLower(fields[0])
-	rest := strings.TrimSpace(text[len(fields[0]):])
+	// Fast path: a bare mnemonic (nop/ecall/ret/...) needs no splitting.
+	sp := strings.IndexAny(text, " \t")
+	if sp < 0 {
+		return strings.ToLower(text), nil
+	}
+	mnem := strings.ToLower(text[:sp])
+	rest := strings.TrimSpace(text[sp:])
 	if rest == "" {
 		return mnem, nil
 	}
-	parts := strings.Split(rest, ",")
-	args := make([]string, 0, len(parts))
-	for _, a := range parts {
-		args = append(args, strings.TrimSpace(a))
+	// Split the operand list manually: one allocation for the args slice
+	// instead of Fields + Split intermediates (this runs per assembled
+	// instruction).
+	args := make([]string, 0, 4)
+	for {
+		i := strings.IndexByte(rest, ',')
+		if i < 0 {
+			args = append(args, strings.TrimSpace(rest))
+			return mnem, args
+		}
+		args = append(args, strings.TrimSpace(rest[:i]))
+		rest = rest[i+1:]
 	}
-	return mnem, args
 }
 
 func parseImm(s string) (int64, error) {
@@ -170,21 +215,27 @@ func parseImm(s string) (int64, error) {
 	return iv, nil
 }
 
-// liWords returns the number of instructions li expands to for value v.
+// liWords returns the number of instructions li expands to for value v —
+// via a stack buffer, so the size pass does not allocate a sequence it
+// immediately discards.
 func liWords(v int64) int {
-	return len(liSeq(0, v))
+	var buf [24]Inst
+	return len(liSeqInto(buf[:0], 0, v))
 }
 
 // liSeq produces the materialisation sequence for an arbitrary 64-bit value.
-func liSeq(rd int, v int64) []Inst {
+func liSeq(rd int, v int64) []Inst { return liSeqInto(nil, rd, v) }
+
+// liSeqInto appends the materialisation sequence to dst.
+func liSeqInto(dst []Inst, rd int, v int64) []Inst {
 	if v >= -2048 && v < 2048 {
-		return []Inst{{Op: OpAddi, Rd: rd, Rs1: 0, Imm: v}}
+		return append(dst, Inst{Op: OpAddi, Rd: rd, Rs1: 0, Imm: v})
 	}
 	if v >= -(1<<31) && v < 1<<31 {
 		lo := v << 52 >> 52 // sign-extended low 12
 		hi := v - lo
 		if hi<<32>>32 != hi { // rounding overflowed 32 bits: use shifted path
-			seq := liSeq(rd, v>>12)
+			seq := liSeqInto(dst, rd, v>>12)
 			seq = append(seq, Inst{Op: OpSlli, Rd: rd, Rs1: rd, Imm: 12})
 			if lo12 := v & 0xfff; lo12 != 0 {
 				seq = append(seq, Inst{Op: OpOri, Rd: rd, Rs1: rd, Imm: int64(lo12 & 0x7ff)})
@@ -195,7 +246,7 @@ func liSeq(rd int, v int64) []Inst {
 			}
 			return seq
 		}
-		seq := []Inst{{Op: OpLui, Rd: rd, Imm: hi}}
+		seq := append(dst, Inst{Op: OpLui, Rd: rd, Imm: hi})
 		if lo != 0 {
 			seq = append(seq, Inst{Op: OpAddiw, Rd: rd, Rs1: rd, Imm: lo})
 		}
@@ -203,7 +254,7 @@ func liSeq(rd int, v int64) []Inst {
 	}
 	lo := v << 52 >> 52
 	hi := (v - lo) >> 12
-	seq := liSeq(rd, hi)
+	seq := liSeqInto(dst, rd, hi)
 	seq = append(seq, Inst{Op: OpSlli, Rd: rd, Rs1: rd, Imm: 12})
 	if lo != 0 {
 		seq = append(seq, Inst{Op: OpAddi, Rd: rd, Rs1: rd, Imm: lo})
@@ -703,7 +754,9 @@ func encodeInst(mnem string, args []string, pc uint64, labels map[string]uint64)
 		if err != nil {
 			return nil, err
 		}
-		if rs2, err2 := reg(args[2]); err2 == nil {
+		// Probe the register form without reg()'s error allocation — this
+		// branch is taken (and fails) for every immediate-form instruction.
+		if rs2 := RegNum(args[2]); rs2 >= 0 {
 			return []Inst{{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}}, nil
 		}
 		imm, err := parseImm(args[2])

@@ -26,6 +26,7 @@ import (
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/isasim"
+	"dejavuzz/internal/mem"
 	"dejavuzz/internal/swapmem"
 	"dejavuzz/internal/uarch"
 )
@@ -53,13 +54,40 @@ func (target) NewPipeline(f *core.Fuzzer) core.Pipeline {
 	return pipeline{opts: f.Options()}
 }
 
+// pipeline is the per-campaign factory; each shard gets its own stateful
+// instance so the two simulator instances, their address spaces, the
+// stimulus buffers and the divergence scratch are allocated once per shard
+// and reset between iterations.
 type pipeline struct {
 	opts core.Options
 }
 
-// archRun is one architectural execution of a swap schedule.
+func (p pipeline) NewShard() core.ShardPipeline {
+	return &shardPipeline{
+		opts:  p.opts,
+		gen:   gen.New(0),
+		fresh: p.opts.FreshContexts,
+	}
+}
+
+// shardPipeline is one shard's architectural differential pipeline.
+// RunIteration is never called concurrently on the same instance.
+type shardPipeline struct {
+	opts  core.Options
+	gen   *gen.Generator // stimulus builder (owns materialisation scratch)
+	fresh bool           // rebuild contexts per run (reset-equivalence reference)
+
+	st1, st2 gen.Stimulus     // phase-1 / completed stimulus buffers
+	sched    swapmem.Schedule // reusable swap-schedule buffer
+	a, b     archRun          // the two long-lived DUT slots
+	samples  []uarch.TaintSample
+}
+
+// archRun is one reusable architectural DUT slot and, after Exec, its
+// latest execution's observables.
 type archRun struct {
-	sim *isasim.Sim
+	space *mem.Space
+	sim   *isasim.Sim
 	// traps is the swap-scheduling trap sequence (cause, EPC) in order.
 	traps []isasim.Trap
 	// regSnaps is the integer register file at every packet boundary
@@ -69,13 +97,25 @@ type archRun struct {
 	packets int
 }
 
-// runSchedule drives one isasim instance through a swap schedule, mirroring
-// swapmem.Runtime's trap-hook scheduling without the microarchitectural
-// core: any trap ends the current packet, remaining packets load in order,
-// and the run halts when the schedule drains or the budget is exhausted.
-func runSchedule(sched *swapmem.Schedule, secret []byte, budget int) *archRun {
-	space := swapmem.NewSpace(secret)
-	run := &archRun{}
+// Exec drives the slot through a swap schedule, mirroring swapmem.Runtime's
+// trap-hook scheduling without the microarchitectural core: any trap ends
+// the current packet, remaining packets load in order, and the run halts
+// when the schedule drains or the budget is exhausted. With fresh set the
+// space and simulator are rebuilt instead of reset — the reference mode the
+// reset-equivalence tests compare against.
+func (run *archRun) Exec(sched *swapmem.Schedule, secret []byte, budget int, fresh bool) {
+	if fresh || run.space == nil {
+		run.space = swapmem.NewSpace(secret)
+		run.sim = isasim.New(run.space, swapmem.SharedBase)
+	} else {
+		swapmem.ResetSpace(run.space, secret)
+		run.sim.Reset(run.space, swapmem.SharedBase)
+	}
+	run.traps = run.traps[:0]
+	run.regSnaps = run.regSnaps[:0]
+	run.packets = 0
+
+	space, sim := run.space, run.sim
 	idx := 0
 	load := func(st swapmem.Step) uint64 {
 		for _, pu := range st.PrePerm {
@@ -83,18 +123,16 @@ func runSchedule(sched *swapmem.Schedule, secret []byte, budget int) *archRun {
 			// occur for generator-built schedules.
 			_ = space.SetPerm(pu.Region, pu.Perm)
 		}
-		zero := make([]byte, swapmem.SwapSize)
-		space.WriteRaw(swapmem.SwapBase, zero)
+		swapmem.ClearSwap(space)
 		img := st.Packet.Image
 		space.WriteRaw(img.Base, img.Bytes())
 		run.packets++
 		return st.Packet.Entry
 	}
 	if len(sched.Steps) == 0 {
-		run.sim = isasim.New(space, swapmem.SharedBase)
-		return run
+		return
 	}
-	sim := isasim.New(space, load(sched.Steps[0]))
+	sim.PC = load(sched.Steps[0])
 	idx = 1
 	sim.TrapHook = func(t isasim.Trap) isasim.TrapAction {
 		run.traps = append(run.traps, t)
@@ -107,8 +145,6 @@ func runSchedule(sched *swapmem.Schedule, secret []byte, budget int) *archRun {
 		return isasim.TrapAction{NewPC: entry}
 	}
 	sim.Run(budget)
-	run.sim = sim
-	return run
 }
 
 // controlFlowDiverged reports whether two runs took secret-dependent paths:
@@ -135,9 +171,10 @@ const dataLineBytes = 64
 // one per differing data-region line. Registers and memory that diverge do
 // so only because the secrets differ, so each sample is a distinct
 // (channel, schedule position) the secret reached — a stimulus that never
-// touches the secret contributes no coverage at all.
-func divergenceSamples(a, b *archRun) []uarch.TaintSample {
-	var out []uarch.TaintSample
+// touches the secret contributes no coverage at all. Samples accumulate
+// into dst (typically the shard's recycled scratch).
+func divergenceSamples(dst []uarch.TaintSample, a, b *archRun) []uarch.TaintSample {
+	out := dst
 	snaps := len(a.regSnaps)
 	if len(b.regSnaps) < snaps {
 		snaps = len(b.regSnaps)
@@ -149,7 +186,7 @@ func divergenceSamples(a, b *archRun) []uarch.TaintSample {
 				// count field clamps at the matrix's slot cap), so
 				// divergence at a new schedule position is a new point.
 				out = append(out, uarch.TaintSample{
-					Module:  fmt.Sprintf("%s@p%d", regModules[r], k),
+					Module:  regPosModule(r, k),
 					Tainted: bits.OnesCount64(x),
 				})
 			}
@@ -160,8 +197,10 @@ func divergenceSamples(a, b *archRun) []uarch.TaintSample {
 			out = append(out, uarch.TaintSample{Module: regModules[r], Tainted: bits.OnesCount64(x)})
 		}
 	}
-	la := a.sim.Mem.ReadRaw(swapmem.DataBase, swapmem.DataSize)
-	lb := b.sim.Mem.ReadRaw(swapmem.DataBase, swapmem.DataSize)
+	// RegionBytes aliases the live backing store (no 32KB copies per
+	// iteration); the scan is read-only.
+	la := a.sim.Mem.RegionBytes(swapmem.DataBase)
+	lb := b.sim.Mem.RegionBytes(swapmem.DataBase)
 	for off := 0; off < swapmem.DataSize; off += dataLineBytes {
 		if !bytes.Equal(la[off:off+dataLineBytes], lb[off:off+dataLineBytes]) {
 			// The line position goes into the module name, like the register
@@ -192,30 +231,49 @@ var regModules = func() [32]string {
 	return names
 }()
 
+// regPosModules pre-renders the (register, packet boundary) module names
+// for the boundary depths stimuli actually reach; deeper boundaries fall
+// back to formatting.
+var regPosModules = func() [32][16]string {
+	var names [32][16]string
+	for r := range names {
+		for k := range names[r] {
+			names[r][k] = fmt.Sprintf("%s@p%d", regModules[r], k)
+		}
+	}
+	return names
+}()
+
+func regPosModule(r, k int) string {
+	if k < len(regPosModules[r]) {
+		return regPosModules[r][k]
+	}
+	return fmt.Sprintf("%s@p%d", regModules[r], k)
+}
+
 // RunIteration executes one architectural differential iteration: build the
 // completed stimulus (window training architecturally touches the secret,
 // exactly as in the uarch Phase-2 differential run), execute it on the
-// coupled pair, fold divergence observables into the coverage sink, and
-// flag control-flow divergence as an architectural leak finding.
-func (p pipeline) RunIteration(iter int, seed gen.Seed, sink core.CovSink) core.Outcome {
+// shard's coupled pair of reusable slots, fold divergence observables into
+// the coverage sink, and flag control-flow divergence as an architectural
+// leak finding.
+func (p *shardPipeline) RunIteration(iter int, seed gen.Seed, sink core.CovSink) core.Outcome {
 	out := core.Outcome{}
-	g := gen.New(seed.Rand)
-	st, err := g.BuildStimulus(seed)
-	if err != nil {
+	if err := p.gen.BuildStimulusInto(&p.st1, seed); err != nil {
 		return out
 	}
-	cst, err := g.CompleteWindow(st)
-	if err != nil {
+	if err := p.gen.CompleteWindowInto(&p.st2, &p.st1); err != nil {
 		return out
 	}
-	sched := cst.BuildSchedule(nil)
+	sched := p.st2.BuildScheduleInto(&p.sched, nil)
 	budget := p.opts.MaxCycles
 	if budget <= 0 {
 		budget = 20000
 	}
 	secret := core.DefaultSecret
-	a := runSchedule(sched.Clone(), secret, budget)
-	b := runSchedule(sched.Clone(), swapmem.FlipSecret(secret), budget)
+	p.a.Exec(sched, secret, budget, p.fresh)
+	p.b.Exec(sched, swapmem.FlipSecret(secret), budget, p.fresh)
+	a, b := &p.a, &p.b
 	out.Sims = 2
 	out.Measured = true
 
@@ -223,13 +281,14 @@ func (p pipeline) RunIteration(iter int, seed gen.Seed, sink core.CovSink) core.
 	// (exception-class windows). Misprediction windows have no architectural
 	// signature, so they report untriggered here — honest for an ISA model.
 	for _, t := range a.traps {
-		if t.EPC == st.TriggerPC {
+		if t.EPC == p.st1.TriggerPC {
 			out.Triggered = true
 			break
 		}
 	}
 
-	out.NewPoints = sink.AddFromLog(divergenceSamples(a, b))
+	p.samples = divergenceSamples(p.samples[:0], a, b)
+	out.NewPoints = sink.AddFromLog(p.samples)
 	out.TaintGain = out.NewPoints > 0
 
 	if controlFlowDiverged(a, b) {

@@ -104,11 +104,40 @@ type Sim struct {
 	Instret uint64
 	// LastTrap records the most recent trap, if any.
 	LastTrap *Trap
+
+	// decCache memoises instruction decoding (a pure function of the raw
+	// word): stimulus programs loop over a handful of distinct words, so a
+	// small direct-mapped cache removes most decode work. Entries survive
+	// Reset — the cache can never change results, only skip recomputation.
+	decCache [64]decEntry
+}
+
+type decEntry struct {
+	raw uint32
+	in  isa.Inst
+	ok  bool
 }
 
 // New returns a simulator over the given space starting at entry.
 func New(space *mem.Space, entry uint64) *Sim {
-	return &Sim{Mem: space, PC: entry}
+	s := &Sim{}
+	s.Reset(space, entry)
+	return s
+}
+
+// Reset reinitialises the simulator in place over a (possibly reset) space:
+// registers zeroed, counters cleared, hook detached. After Reset the
+// simulator is indistinguishable from New(space, entry) — the property the
+// per-shard execution contexts in internal/isadiff rely on.
+func (s *Sim) Reset(space *mem.Space, entry uint64) {
+	s.Mem = space
+	s.PC = entry
+	s.X = [32]uint64{}
+	s.F = [32]uint64{}
+	s.Halted = false
+	s.TrapHook = nil
+	s.Instret = 0
+	s.LastTrap = nil
 }
 
 // CauseForFault converts a memory fault into a trap cause.
@@ -157,9 +186,12 @@ func (s *Sim) Step() bool {
 		s.trap(Trap{Cause: CauseForFault(f), EPC: s.PC, Tval: s.PC})
 		return !s.Halted
 	}
-	b := s.Mem.ReadRaw(s.PC, 4)
-	raw := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-	in := isa.Decode(raw)
+	raw := s.Mem.Read32(s.PC)
+	e := &s.decCache[(raw*2654435761)>>26]
+	if !e.ok || e.raw != raw {
+		e.raw, e.in, e.ok = raw, isa.Decode(raw), true
+	}
+	in := e.in
 	s.Exec(in)
 	return !s.Halted
 }

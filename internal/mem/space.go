@@ -88,13 +88,17 @@ type Space struct {
 	regions []*Region
 	bytes   map[uint64][]byte // base -> backing bytes, one entry per region
 	taint   map[uint64][]byte // parallel taint shadow (bit per data bit)
+	// initPerm remembers each region's construction-time permission so Reset
+	// can undo SetPerm mutations (base -> original perm).
+	initPerm map[uint64]Perm
 }
 
 // NewSpace returns an empty space.
 func NewSpace() *Space {
 	return &Space{
-		bytes: make(map[uint64][]byte),
-		taint: make(map[uint64][]byte),
+		bytes:    make(map[uint64][]byte),
+		taint:    make(map[uint64][]byte),
+		initPerm: make(map[uint64]Perm),
 	}
 }
 
@@ -114,7 +118,28 @@ func (s *Space) AddRegion(r Region) (*Region, error) {
 	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
 	s.bytes[reg.Base] = make([]byte, reg.Size)
 	s.taint[reg.Base] = make([]byte, reg.Size)
+	s.initPerm[reg.Base] = reg.Perm
 	return &reg, nil
+}
+
+// Reset returns the space to its construction-time state without
+// reallocating: every region's bytes and taint shadow are zeroed in place
+// and its permissions restored to the values it was added with. A reset
+// space is indistinguishable from a freshly built one with the same region
+// layout — the property the execution-context reuse in internal/core relies
+// on.
+func (s *Space) Reset() {
+	for _, r := range s.regions {
+		b := s.bytes[r.Base]
+		for i := range b {
+			b[i] = 0
+		}
+		t := s.taint[r.Base]
+		for i := range t {
+			t[i] = 0
+		}
+		r.Perm = s.initPerm[r.Base]
+	}
 }
 
 // MustAddRegion is AddRegion that panics on error; intended for static layouts.
@@ -245,22 +270,61 @@ func (s *Space) SetTaint(addr uint64, size int, tainted bool) {
 
 // Read64 reads a little-endian 64-bit word and its taint mask, unchecked.
 func (s *Space) Read64(addr uint64) (val, taint uint64) {
-	b := s.ReadRaw(addr, 8)
-	t := s.TaintRaw(addr, 8)
-	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(t)
+	// Fast path: the word lies entirely inside one region (the overwhelmingly
+	// common case on the simulation hot path — no per-access allocation).
+	if b, t, ok := s.slice(addr, 8); ok {
+		return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(t)
+	}
+	var bb, tb [8]byte
+	for i := 0; i < 8; i++ {
+		if b, t, ok := s.slice(addr+uint64(i), 1); ok {
+			bb[i] = b[0]
+			tb[i] = t[0]
+		}
+	}
+	return binary.LittleEndian.Uint64(bb[:]), binary.LittleEndian.Uint64(tb[:])
 }
 
 // Write64 writes a little-endian 64-bit word and its taint mask, unchecked.
 func (s *Space) Write64(addr uint64, val, taint uint64) {
-	var b, t [8]byte
-	binary.LittleEndian.PutUint64(b[:], val)
-	binary.LittleEndian.PutUint64(t[:], taint)
-	s.WriteRaw(addr, b[:])
+	if b, t, ok := s.slice(addr, 8); ok {
+		binary.LittleEndian.PutUint64(b, val)
+		binary.LittleEndian.PutUint64(t, taint)
+		return
+	}
 	for i := 0; i < 8; i++ {
-		if _, tt, ok := s.slice(addr+uint64(i), 1); ok {
-			tt[0] = t[i]
+		if b, t, ok := s.slice(addr+uint64(i), 1); ok {
+			b[0] = byte(val >> (8 * i))
+			t[0] = byte(taint >> (8 * i))
 		}
 	}
+}
+
+// RegionBytes returns the live backing bytes of the region containing addr
+// (nil if unmapped). The slice aliases the space's storage — callers must
+// treat it as read-only; it exists so observers (coverage diffing, hashing)
+// can scan large regions without copying them.
+func (s *Space) RegionBytes(addr uint64) []byte {
+	r := s.Region(addr)
+	if r == nil {
+		return nil
+	}
+	return s.bytes[r.Base]
+}
+
+// Read32 reads a little-endian 32-bit word without permission checks or
+// allocation (the architectural simulator's fetch path).
+func (s *Space) Read32(addr uint64) uint32 {
+	if b, _, ok := s.slice(addr, 4); ok {
+		return binary.LittleEndian.Uint32(b)
+	}
+	var v uint32
+	for i := 0; i < 4; i++ {
+		if b, _, ok := s.slice(addr+uint64(i), 1); ok {
+			v |= uint32(b[0]) << (8 * i)
+		}
+	}
+	return v
 }
 
 // Read reads size bytes (1,2,4,8) with permission checks, returning the
@@ -269,11 +333,20 @@ func (s *Space) Write64(addr uint64, val, taint uint64) {
 // decides whether that data is architecturally visible.
 func (s *Space) Read(addr uint64, size int, kind AccessKind) (val, taint uint64, err error) {
 	err = s.Check(addr, size, kind)
-	b := s.ReadRaw(addr, size)
-	t := s.TaintRaw(addr, size)
+	if b, t, ok := s.slice(addr, size); ok {
+		for i := size - 1; i >= 0; i-- {
+			val = val<<8 | uint64(b[i])
+			taint = taint<<8 | uint64(t[i])
+		}
+		return val, taint, err
+	}
 	for i := size - 1; i >= 0; i-- {
-		val = val<<8 | uint64(b[i])
-		taint = taint<<8 | uint64(t[i])
+		val <<= 8
+		taint <<= 8
+		if b, t, ok := s.slice(addr+uint64(i), 1); ok {
+			val |= uint64(b[0])
+			taint |= uint64(t[0])
+		}
 	}
 	return val, taint, err
 }
@@ -283,16 +356,18 @@ func (s *Space) Write(addr uint64, size int, val, taint uint64, kind AccessKind)
 	if err := s.Check(addr, size, kind); err != nil {
 		return err
 	}
-	b := make([]byte, size)
-	t := make([]byte, size)
-	for i := 0; i < size; i++ {
-		b[i] = byte(val >> (8 * i))
-		t[i] = byte(taint >> (8 * i))
+	if b, t, ok := s.slice(addr, size); ok {
+		for i := 0; i < size; i++ {
+			b[i] = byte(val >> (8 * i))
+			t[i] = byte(taint >> (8 * i))
+		}
+		return nil
 	}
-	s.WriteRaw(addr, b)
-	if bs, ts, ok := s.slice(addr, size); ok {
-		_ = bs
-		copy(ts, t)
+	for i := 0; i < size; i++ {
+		if b, t, ok := s.slice(addr+uint64(i), 1); ok {
+			b[0] = byte(val >> (8 * i))
+			t[0] = byte(taint >> (8 * i))
+		}
 	}
 	return nil
 }
@@ -310,6 +385,7 @@ func (s *Space) Clone() *Space {
 		t := make([]byte, len(s.taint[r.Base]))
 		copy(t, s.taint[r.Base])
 		c.taint[nr.Base] = t
+		c.initPerm[nr.Base] = s.initPerm[r.Base]
 	}
 	return c
 }

@@ -272,6 +272,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "dvz_campaigns{state=%q} %d\n", state, st.ByState[state])
 	}
 	fmt.Fprintf(w, "# HELP dvz_iterations_total Completed fuzzing iterations across all campaigns.\ndvz_iterations_total %d\n", st.Iterations)
+	if len(st.Running) > 0 {
+		fmt.Fprintf(w, "# HELP dvz_campaign_iters_per_sec Per-campaign fuzzing throughput since the session (re)started.\n")
+		for _, r := range st.Running {
+			fmt.Fprintf(w, "dvz_campaign_iters_per_sec{id=%q} %f\n", r.ID, r.ItersPerSec)
+		}
+		fmt.Fprintf(w, "# HELP dvz_campaign_iterations Per-campaign completed iterations.\n")
+		for _, r := range st.Running {
+			fmt.Fprintf(w, "dvz_campaign_iterations{id=%q} %d\n", r.ID, r.Done)
+		}
+	}
 	fmt.Fprintf(w, "# HELP dvz_findings_raw_total Raw findings before triage.\ndvz_findings_raw_total %d\n", st.RawFindings)
 	fmt.Fprintf(w, "# HELP dvz_findings_bugs Deduplicated triaged bugs.\ndvz_findings_bugs %d\n", st.TriagedBugs)
 }

@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -110,6 +111,12 @@ type campaign struct {
 	cancel  context.CancelFunc
 	stop    string // pending stop intent, "" when none
 	workers int    // budget slots held while running
+
+	// runStarted/startDone anchor the current run's throughput gauge:
+	// iterations completed since the session (re)started over the wall
+	// clock since then (exported as dvz_campaign_iters_per_sec).
+	runStarted time.Time
+	startDone  int
 }
 
 // Config configures Open.
@@ -360,8 +367,11 @@ func (s *Server) run(cs *campaign) {
 	s.mu.Lock()
 	cs.sess = sess
 	cs.cancel = cancel
+	cs.runStarted = time.Now()
+	cs.startDone = cs.rec.Done
 	if resumedFrom >= 0 {
 		cs.rec.Done = resumedFrom
+		cs.startDone = resumedFrom
 		s.log.Printf("campaign %s: resumed from checkpoint at iteration %d", id, resumedFrom)
 	} else {
 		s.log.Printf("campaign %s: started (workers=%d of budget %d)", id, cs.workers, s.budget)
@@ -653,6 +663,14 @@ func (s *Server) Findings(target string) (bugs []triage.Bug, raw int) {
 	return bugs, raw
 }
 
+// CampaignRate is one running campaign's throughput gauge: iterations
+// completed since its session (re)started over the wall clock since then.
+type CampaignRate struct {
+	ID          string
+	Done        int
+	ItersPerSec float64
+}
+
 // Stats is the service health/metrics snapshot.
 type Stats struct {
 	Uptime        time.Duration
@@ -663,6 +681,9 @@ type Stats struct {
 	Iterations    int // completed iterations across all campaigns
 	RawFindings   int
 	TriagedBugs   int
+	// Running lists per-campaign throughput for currently running
+	// campaigns, ordered by campaign ID.
+	Running []CampaignRate
 }
 
 // Snapshot gathers current service statistics.
@@ -678,8 +699,18 @@ func (s *Server) Snapshot() Stats {
 	for _, cs := range s.campaigns {
 		st.ByState[cs.rec.State]++
 		st.Iterations += cs.rec.Done
+		if cs.rec.State == StateRunning && !cs.runStarted.IsZero() {
+			rate := 0.0
+			if elapsed := time.Since(cs.runStarted).Seconds(); elapsed > 0 {
+				rate = float64(cs.rec.Done-cs.startDone) / elapsed
+			}
+			st.Running = append(st.Running, CampaignRate{
+				ID: cs.rec.ID, Done: cs.rec.Done, ItersPerSec: rate,
+			})
+		}
 	}
 	s.mu.Unlock()
+	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].ID < st.Running[j].ID })
 	st.RawFindings, st.TriagedBugs = s.store.Stats()
 	return st
 }

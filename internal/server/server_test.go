@@ -58,7 +58,7 @@ func createCampaign(t *testing.T, base, payload string) Record {
 // test).
 func pollRecord(t *testing.T, base, id string, what string, cond func(Record) bool) Record {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(120 * time.Second)
 	for {
 		resp, err := http.Get(base + "/campaigns/" + id)
 		if err != nil {
@@ -71,7 +71,7 @@ func pollRecord(t *testing.T, base, id string, what string, cond func(Record) bo
 		if time.Now().After(deadline) {
 			t.Fatalf("campaign %s never reached %s: %+v", id, what, rec)
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 
@@ -118,7 +118,11 @@ func TestServerTriageDedupAcrossSeeds(t *testing.T) {
 	srv, ts := openTestServer(t, t.TempDir(), 2)
 	defer srv.Shutdown(context.Background()) //nolint:errcheck
 
-	rec1 := createCampaign(t, ts.URL, `{"name":"seed-one","options":{"target":"boom","seed":1,"iterations":48,"merge_every":8}}`)
+	// seed-one is long enough (many barriers) that its session is still live
+	// when the event-stream subscription below attaches — the engine's
+	// context-reuse speedup made 48-iteration boom campaigns finish in tens
+	// of milliseconds.
+	rec1 := createCampaign(t, ts.URL, `{"name":"seed-one","options":{"target":"boom","seed":1,"iterations":512,"merge_every":8}}`)
 	rec2 := createCampaign(t, ts.URL, `{"name":"seed-two","options":{"target":"boom","seed":2,"iterations":48,"merge_every":8}}`)
 
 	// Live event stream: at minimum the status frame, then barrier events
@@ -217,13 +221,19 @@ func TestServerTriageDedupAcrossSeeds(t *testing.T) {
 // both finish with reports byte-identical (modulo Duration/FirstBug) to
 // uninterrupted in-process runs.
 func TestServerShutdownResume(t *testing.T) {
+	// Campaign lengths balance two wall-clock constraints: long enough that
+	// both are still mid-flight when Shutdown fires (tens of milliseconds
+	// after their first barriers — the context-reuse engine runs boom at
+	// ~1k iters/s and isasim at ~6k iters/s per worker), yet short enough
+	// to finish within the poll deadline under -race, which slows the
+	// engine by an order of magnitude.
 	stateDir := t.TempDir()
 	srv1, ts1 := openTestServer(t, stateDir, 2)
 
-	isaOpts := dejavuzz.Options{Target: "isasim", Seed: 5, Iterations: 6000, MergeEvery: 64}
-	boomOpts := dejavuzz.Options{Target: "boom", Seed: 1, Iterations: 160, MergeEvery: 8}
-	recA := createCampaign(t, ts1.URL, `{"name":"arch","options":{"target":"isasim","seed":5,"iterations":6000,"merge_every":64}}`)
-	recB := createCampaign(t, ts1.URL, `{"name":"uarch","options":{"target":"boom","seed":1,"iterations":160,"merge_every":8}}`)
+	isaOpts := dejavuzz.Options{Target: "isasim", Seed: 5, Iterations: 4000, MergeEvery: 64}
+	boomOpts := dejavuzz.Options{Target: "boom", Seed: 1, Iterations: 1600, MergeEvery: 8}
+	recA := createCampaign(t, ts1.URL, `{"name":"arch","options":{"target":"isasim","seed":5,"iterations":4000,"merge_every":64}}`)
+	recB := createCampaign(t, ts1.URL, `{"name":"uarch","options":{"target":"boom","seed":1,"iterations":1600,"merge_every":8}}`)
 
 	// Both must run at once on the budget of 2 — the multi-tenant claim.
 	pollRecord(t, ts1.URL, recA.ID, "running", func(r Record) bool { return r.State == StateRunning })

@@ -161,28 +161,49 @@ func NewSpace(secret []byte) *mem.Space {
 		Perm: 0, Fault: mem.FaultPage})
 	sp.MustAddRegion(mem.Region{Name: "data", Base: DataBase, Size: DataSize,
 		Perm: mem.PermRead | mem.PermWrite})
+	loadContents(sp, secret)
+	return sp
+}
+
+// ResetSpace reinitialises a canonical swapMem space in place for a new run
+// with a (possibly different) secret: all region bytes and taints are zeroed,
+// permissions restored (undoing any PermUpdate a previous schedule applied),
+// and the firmware and secret rewritten. The result is byte-identical to
+// NewSpace(secret) — the per-shard execution contexts in internal/core rely
+// on this equivalence to reuse one allocation across a whole campaign.
+func ResetSpace(sp *mem.Space, secret []byte) {
+	sp.Reset()
+	loadContents(sp, secret)
+}
+
+// loadContents plants the secret (a taint source) and the firmware into a
+// zeroed canonical space.
+func loadContents(sp *mem.Space, secret []byte) {
 	sp.WriteRaw(SecretAddr, secret)
 	sp.SetTaint(SecretAddr, len(secret), true)
 	installFirmware(sp)
-	return sp
 }
+
+// Firmware images are identical for every space; assemble them once.
+var (
+	fwSwapDone = isa.MustAsm(SharedBase, "swap_done:\necall").Bytes()
+	// Nop filler with a trailing ecall every 64 bytes so transient fetches
+	// into the shared region decode cleanly.
+	fwFiller = isa.MustAsm(SharedBase+0x100, `
+		nop
+		nop
+		nop
+		ecall
+	`).Bytes()
+)
 
 // installFirmware writes the shared-region runtime stubs: the swap_done
 // packet terminator at SharedBase and a page of executable nop filler used
 // as a landing pad by icache-encoding gadgets.
 func installFirmware(sp *mem.Space) {
-	fw := isa.MustAsm(SharedBase, "swap_done:\necall")
-	sp.WriteRaw(SharedBase, fw.Bytes())
-	// Nop filler with a trailing ecall every 64 bytes so transient fetches
-	// into the shared region decode cleanly.
-	filler := isa.MustAsm(SharedBase+0x100, `
-		nop
-		nop
-		nop
-		ecall
-	`)
+	sp.WriteRaw(SharedBase, fwSwapDone)
 	for off := uint64(0x100); off+16 <= SharedSize; off += 64 {
-		sp.WriteRaw(SharedBase+off, filler.Bytes())
+		sp.WriteRaw(SharedBase+off, fwFiller)
 	}
 }
 
@@ -218,10 +239,36 @@ type Runtime struct {
 // NewRuntime wires a runtime to a core and schedule. The caller must call
 // Start to load the first packet.
 func NewRuntime(core *uarch.Core, space *mem.Space, sched *Schedule) *Runtime {
-	rt := &Runtime{Space: space, Sched: sched, Core: core}
-	core.TrapHook = rt.onTrap
+	rt := &Runtime{}
+	rt.Rebind(core, space, sched)
 	return rt
 }
+
+// Rebind rewires an existing runtime for a fresh run: new core/space/schedule
+// binding, swap counters zeroed, load-cycle log truncated (capacity kept).
+// Rebind leaves the runtime in exactly the state NewRuntime produces; the
+// caller must still call Start. A Runtime never mutates its Schedule, so the
+// same Schedule value may be bound to several runtimes concurrently.
+func (rt *Runtime) Rebind(core *uarch.Core, space *mem.Space, sched *Schedule) {
+	rt.Space = space
+	rt.Sched = sched
+	rt.Core = core
+	rt.idx = 0
+	rt.started = false
+	rt.Traps = 0
+	rt.ExcTraps = 0
+	rt.LoadCycles = rt.LoadCycles[:0]
+	core.TrapHook = rt.onTrap
+}
+
+// zeroSwap is the shared source for clearing the swappable region; it is
+// never written.
+var zeroSwap = make([]byte, SwapSize)
+
+// ClearSwap zeroes the swappable region — the shared packet-unload step for
+// every runtime that mirrors the swap scheduling (the uarch Runtime here,
+// the architectural one in internal/isadiff).
+func ClearSwap(sp *mem.Space) { sp.WriteRaw(SwapBase, zeroSwap) }
 
 // loadPacket writes the packet image into the swappable region and flushes
 // the icache (swapped code must be refetched).
@@ -232,8 +279,7 @@ func (rt *Runtime) loadPacket(st Step) uint64 {
 		}
 	}
 	// Clear the swappable region, then install the image.
-	zero := make([]byte, SwapSize)
-	rt.Space.WriteRaw(SwapBase, zero)
+	ClearSwap(rt.Space)
 	img := st.Packet.Image
 	rt.Space.WriteRaw(img.Base, img.Bytes())
 	rt.Core.ICache.FlushAll()
@@ -252,13 +298,13 @@ func (rt *Runtime) TransientStart() int {
 // Start loads the first packet and points the core at its entry.
 func (rt *Runtime) Start() {
 	if len(rt.Sched.Steps) == 0 {
-		rt.Core.Reset(SharedBase)
+		rt.Core.Restart(SharedBase)
 		return
 	}
 	entry := rt.loadPacket(rt.Sched.Steps[0])
 	rt.idx = 1
 	rt.started = true
-	rt.Core.Reset(entry)
+	rt.Core.Restart(entry)
 }
 
 // onTrap is the swap scheduler: any trap ends the current packet; remaining

@@ -36,7 +36,7 @@ func TestPhantomBTB(t *testing.T) {
 		loadProgram(sp, p)
 		c := NewCore(BOOMConfig(), sp, IFTOff)
 		c.TrapHook = HaltingHook()
-		c.Reset(0x1000)
+		c.Restart(0x1000)
 		c.Run(3000)
 		if c.BugWitness["phantom-btb"] > 0 {
 			found = true
@@ -64,7 +64,7 @@ func TestSpectreRefetch(t *testing.T) {
 
 	c := NewCore(BOOMConfig(), sp, IFTOff)
 	c.TrapHook = HaltingHook()
-	c.Reset(0x1000)
+	c.Restart(0x1000)
 	c.Run(3000)
 	if c.BugWitness["spectre-refetch-miss"] == 0 {
 		t.Fatal("transient icache miss did not occupy the fetch port")
@@ -150,8 +150,8 @@ func TestDiffPairConstantTimeHolds(t *testing.T) {
 	b := NewCore(BOOMConfig(), sp2, IFTOff)
 	a.TrapHook = HaltingHook()
 	b.TrapHook = HaltingHook()
-	a.Reset(0x1000)
-	b.Reset(0x1000)
+	a.Restart(0x1000)
+	b.Restart(0x1000)
 	pair := NewPair(a, b)
 	ca, cb := pair.Run(3000)
 	if ca != cb {

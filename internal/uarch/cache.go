@@ -81,6 +81,47 @@ func NewCache(name string, cfg CacheConfig, space *mem.Space) *Cache {
 	return c
 }
 
+// Reusable reports whether the cache's allocations fit a configuration and
+// backing space, i.e. whether Reset can stand in for NewCache(name, cfg, space).
+func (c *Cache) Reusable(cfg CacheConfig, space *mem.Space) bool {
+	return c.cfg == cfg && c.space == space
+}
+
+// Reset returns the cache to its construction-time state in place: all
+// lines invalidated, LRU ages, taint shadows, MSHRs, line-fill buffers and
+// statistics zeroed. After Reset the cache is indistinguishable from a
+// freshly built one over the same configuration and space.
+func (c *Cache) Reset() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = 0
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+			c.tagT[s][w] = 0
+			data, dataT := c.data[s][w], c.dataT[s][w]
+			for i := range data {
+				data[i] = 0
+				dataT[i] = 0
+			}
+		}
+	}
+	for i := range c.mshrs {
+		c.mshrs[i] = mshr{}
+	}
+	for i := range c.lfb {
+		e := &c.lfb[i]
+		e.addr = 0
+		e.used = false
+		for j := range e.data {
+			e.data[j] = 0
+			e.taint[j] = 0
+		}
+	}
+	c.fetchBusyUntil = 0
+	c.Accesses = 0
+	c.Misses = 0
+}
+
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
 func (c *Cache) setOf(addr uint64) int {
 	return int(addr / uint64(c.cfg.LineBytes) % uint64(c.cfg.Sets))

@@ -143,6 +143,7 @@ type Core struct {
 	pcTaint uint64
 
 	fetchQ          []fetchEntry
+	fetchHead       int // consumed prefix of fetchQ (head-index ring; avoids re-slicing churn)
 	fetchStallUntil int
 	decodeBlocked   bool
 	fetchHeld       bool // serialized at ecall/ebreak until redirect
@@ -195,45 +196,172 @@ type Core struct {
 	Committed    uint64
 	TrapCount    int
 	TaintTraceOn bool
+	// censusScratch is the reusable per-cycle census buffer (taint tracing).
+	censusScratch []ModuleTaint
 	// BugWitness records mechanism-level evidence when an injected bug's
 	// code path actually fired (used to label findings in Table 5 runs).
 	BugWitness map[string]int
 }
 
-// NewCore builds a core over its (per-instance) address space.
+// NewCore builds a core over its (per-instance) address space. It is
+// implemented as an empty shell plus Reset, so Reset is equivalent to fresh
+// construction by definition — the property the execution-context reuse in
+// internal/core relies on.
 func NewCore(cfg Config, space *mem.Space, mode IFTMode) *Core {
-	l2 := NewTLB("l2tlb", cfg.L2TLB, nil)
-	c := &Core{
-		Cfg: cfg, Mem: space, Mode: mode, Trace: NewTrace(),
-		rob:        make([]robEntry, cfg.ROBEntries),
-		ldq:        make([]queueEntry, cfg.LDQEntries),
-		stq:        make([]queueEntry, cfg.STQEntries),
-		ICache:     NewCache("icache", cfg.ICache, space),
-		DCache:     NewCache("dcache", cfg.DCache, space),
-		ITLB:       NewTLB("itlb", cfg.ITLB, l2),
-		DTLB:       NewTLB("dtlb", cfg.DTLB, l2),
-		L2TLB:      l2,
-		bht:        NewBHT(cfg.BHTEntries),
-		btb:        NewBTB("btb", cfg.BTBEntries),
-		faubtb:     NewBTB("faubtb", cfg.FauBTBEntries),
-		ind:        NewBTBConf("ind", cfg.BTBEntries, cfg.IndirectMinConf),
-		ras:        NewRAS(cfg.RASEntries),
-		loop:       NewLoopPredictor(cfg.LoopEntries, cfg.LoopTripMax),
-		loadWBUsed: make(map[int]int),
-		noted:      make(map[uint64]notedVal),
-		BugWitness: make(map[string]int),
-	}
-	c.ldqFree = cfg.LDQEntries
-	c.stqFree = cfg.STQEntries
-	c.trapPendingAt = -1
+	c := &Core{}
+	c.Reset(cfg, space, mode)
 	return c
 }
 
-// Reset jumps the core to an entry point, clearing pipeline state but
+// Reset reinitialises the core in place for a new simulation: every
+// microarchitectural structure (RoB, load/store queues, caches, TLBs,
+// predictors, shadow taint state, trace) returns to its construction-time
+// state, reusing existing allocations whenever the configuration geometry
+// allows. After Reset the core is indistinguishable from
+// NewCore(cfg, space, mode).
+func (c *Core) Reset(cfg Config, space *mem.Space, mode IFTMode) {
+	c.Cfg, c.Mem, c.Mode = cfg, space, mode
+
+	if c.Trace == nil {
+		c.Trace = NewTrace()
+	} else {
+		c.Trace.Reset()
+	}
+
+	c.TrapHook = nil
+	c.Halted = false
+	c.Cycle = 0
+	c.pc, c.pcTaint = 0, 0
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
+	c.fetchStallUntil = 0
+	c.decodeBlocked = false
+	c.fetchHeld = false
+
+	if len(c.rob) != cfg.ROBEntries {
+		c.rob = make([]robEntry, cfg.ROBEntries)
+	} else {
+		for i := range c.rob {
+			c.rob[i] = robEntry{}
+		}
+	}
+	c.robHead, c.robTail, c.robCount = 0, 0, 0
+	c.seqNext = 0
+	c.trapPendingAt = -1
+
+	c.archX = [32]uint64{}
+	c.archXT = [32]uint64{}
+	c.archF = [32]uint64{}
+	c.archFT = [32]uint64{}
+
+	if len(c.ldq) != cfg.LDQEntries {
+		c.ldq = make([]queueEntry, cfg.LDQEntries)
+	} else {
+		for i := range c.ldq {
+			c.ldq[i] = queueEntry{}
+		}
+	}
+	if len(c.stq) != cfg.STQEntries {
+		c.stq = make([]queueEntry, cfg.STQEntries)
+	} else {
+		for i := range c.stq {
+			c.stq[i] = queueEntry{}
+		}
+	}
+	c.ldqFree = cfg.LDQEntries
+	c.stqFree = cfg.STQEntries
+
+	if c.ICache == nil || !c.ICache.Reusable(cfg.ICache, space) {
+		c.ICache = NewCache("icache", cfg.ICache, space)
+	} else {
+		c.ICache.Reset()
+	}
+	if c.DCache == nil || !c.DCache.Reusable(cfg.DCache, space) {
+		c.DCache = NewCache("dcache", cfg.DCache, space)
+	} else {
+		c.DCache.Reset()
+	}
+	if c.L2TLB == nil || c.L2TLB.cfg != cfg.L2TLB {
+		c.L2TLB = NewTLB("l2tlb", cfg.L2TLB, nil)
+	} else {
+		c.L2TLB.Reset()
+	}
+	if c.ITLB == nil || c.ITLB.cfg != cfg.ITLB || c.ITLB.next != c.L2TLB {
+		c.ITLB = NewTLB("itlb", cfg.ITLB, c.L2TLB)
+	} else {
+		c.ITLB.Reset()
+	}
+	if c.DTLB == nil || c.DTLB.cfg != cfg.DTLB || c.DTLB.next != c.L2TLB {
+		c.DTLB = NewTLB("dtlb", cfg.DTLB, c.L2TLB)
+	} else {
+		c.DTLB.Reset()
+	}
+
+	if c.bht == nil || len(c.bht.counters) != cfg.BHTEntries {
+		c.bht = NewBHT(cfg.BHTEntries)
+	} else {
+		c.bht.Reset()
+	}
+	if c.btb == nil || !c.btb.Reusable(cfg.BTBEntries, 1) {
+		c.btb = NewBTB("btb", cfg.BTBEntries)
+	} else {
+		c.btb.Reset()
+	}
+	if c.faubtb == nil || !c.faubtb.Reusable(cfg.FauBTBEntries, 1) {
+		c.faubtb = NewBTB("faubtb", cfg.FauBTBEntries)
+	} else {
+		c.faubtb.Reset()
+	}
+	if c.ind == nil || !c.ind.Reusable(cfg.BTBEntries, cfg.IndirectMinConf) {
+		c.ind = NewBTBConf("ind", cfg.BTBEntries, cfg.IndirectMinConf)
+	} else {
+		c.ind.Reset()
+	}
+	if c.ras == nil || len(c.ras.stack) != cfg.RASEntries {
+		c.ras = NewRAS(cfg.RASEntries)
+	} else {
+		c.ras.Reset()
+	}
+	if c.loop == nil || !c.loop.Reusable(cfg.LoopEntries, cfg.LoopTripMax) {
+		c.loop = NewLoopPredictor(cfg.LoopEntries, cfg.LoopTripMax)
+	} else {
+		c.loop.Reset()
+	}
+
+	c.divBusyUntil, c.fdivBusyUntil = 0, 0
+	c.fpuLatchTaint = 0
+	if c.loadWBUsed == nil {
+		c.loadWBUsed = make(map[int]int)
+	} else {
+		clear(c.loadWBUsed)
+	}
+
+	c.pendingCtl = c.pendingCtl[:0]
+	if c.noted == nil {
+		c.noted = make(map[uint64]notedVal)
+	} else {
+		clear(c.noted)
+	}
+
+	c.jalrMispredCycle = 0
+	c.jalrCorrTarget, c.jalrCorrTaint = 0, 0
+
+	c.Committed = 0
+	c.TrapCount = 0
+	c.TaintTraceOn = false
+	if c.BugWitness == nil {
+		c.BugWitness = make(map[string]int)
+	} else {
+		clear(c.BugWitness)
+	}
+}
+
+// Restart jumps the core to an entry point, clearing pipeline state but
 // preserving microarchitectural (cache/predictor) state — matching a swap.
-func (c *Core) Reset(entry uint64) {
+func (c *Core) Restart(entry uint64) {
 	c.pc = entry
-	c.fetchQ = nil
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
 	c.decodeBlocked = false
 	for i := range c.rob {
 		c.rob[i].valid = false
@@ -318,12 +446,19 @@ func (c *Core) Step() {
 
 func (c *Core) afterCycle() {
 	if c.TaintTraceOn {
+		c.censusScratch = c.CensusInto(c.censusScratch[:0])
 		sum := 0
-		for _, m := range c.Census() {
+		for _, m := range c.censusScratch {
 			sum += m.Bits
-			c.Trace.TaintLog = append(c.Trace.TaintLog, TaintSample{
-				Cycle: c.Cycle, Module: m.Module, Tainted: m.Tainted, Bits: m.Bits,
-			})
+			// Zero-taint samples are no-ops for every consumer (the coverage
+			// matrix keys on tainted-element counts > 0), so only tainted
+			// modules are logged — the log stays proportional to observed
+			// taint, not to cycles × module count.
+			if m.Tainted > 0 {
+				c.Trace.TaintLog = append(c.Trace.TaintLog, TaintSample{
+					Cycle: c.Cycle, Module: m.Module, Tainted: m.Tainted, Bits: m.Bits,
+				})
+			}
 		}
 		c.Trace.TaintSumByCycle = append(c.Trace.TaintSumByCycle, sum)
 	}
@@ -709,7 +844,8 @@ func (c *Core) doSquash(drop func(uint64) bool, reason SquashReason, redirect, a
 		}
 	}
 	// Recount (entries in the middle cannot be invalid: squash is a suffix).
-	c.fetchQ = nil
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
 	if reason != SquashException {
 		c.pc = redirect
 	}
@@ -1138,10 +1274,10 @@ func (c *Core) srcFor(reg int, fp bool) (opSrc, bool) {
 
 func (c *Core) dispatchStage() {
 	for n := 0; n < c.Cfg.DecodeWidth; n++ {
-		if len(c.fetchQ) == 0 || c.robCount >= len(c.rob) || c.decodeBlocked {
+		if c.fetchHead >= len(c.fetchQ) || c.robCount >= len(c.rob) || c.decodeBlocked {
 			return
 		}
-		fe := c.fetchQ[0]
+		fe := c.fetchQ[c.fetchHead]
 		in := fe.inst
 
 		isLoad := in.Op.Class() == isa.ClassLoad
@@ -1152,7 +1288,7 @@ func (c *Core) dispatchStage() {
 		if isStore && c.stqFree == 0 {
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchHead++
 
 		// Resolve source operands BEFORE inserting the entry so an
 		// instruction never depends on itself.
@@ -1290,13 +1426,19 @@ func (c *Core) fetchStage() {
 	if c.fetchStallUntil > c.Cycle {
 		return
 	}
-	if len(c.fetchQ) >= 2*c.Cfg.FetchWidth {
+	if len(c.fetchQ)-c.fetchHead >= 2*c.Cfg.FetchWidth {
 		return
+	}
+	// The queue is fully drained most cycles: rewind it so appends reuse
+	// the buffer from the start instead of growing it for a whole run.
+	if c.fetchHead == len(c.fetchQ) {
+		c.fetchQ = c.fetchQ[:0]
+		c.fetchHead = 0
 	}
 	// Fetch permission: an unfetchable pc raises a fetch fault via a pseudo
 	// entry so the trap handler can recover. Append at most one.
 	if err := c.Mem.Check(c.pc, 4, mem.AccessFetch); err != nil {
-		if len(c.fetchQ) > 0 && c.fetchQ[len(c.fetchQ)-1].pc == c.pc {
+		if len(c.fetchQ) > c.fetchHead && c.fetchQ[len(c.fetchQ)-1].pc == c.pc {
 			return
 		}
 		f := err.(*mem.Fault)
@@ -1329,7 +1471,7 @@ func (c *Core) fetchStage() {
 	}
 
 	for n := 0; n < c.Cfg.FetchWidth; n++ {
-		if len(c.fetchQ) >= 2*c.Cfg.FetchWidth {
+		if len(c.fetchQ)-c.fetchHead >= 2*c.Cfg.FetchWidth {
 			return
 		}
 		if c.Mem.Check(c.pc, 4, mem.AccessFetch) != nil {
@@ -1471,8 +1613,12 @@ type ModuleTaint struct {
 
 // Census reports per-module tainted element and bit counts across the whole
 // microarchitecture (the coverage substrate and the Figure 6 series).
-func (c *Core) Census() []ModuleTaint {
-	var out []ModuleTaint
+func (c *Core) Census() []ModuleTaint { return c.CensusInto(nil) }
+
+// CensusInto is Census appending into a caller-provided buffer — the
+// per-cycle taint-tracing path reuses one scratch slice instead of
+// allocating a census every cycle.
+func (c *Core) CensusInto(out []ModuleTaint) []ModuleTaint {
 	add := func(name string, tainted, bitCount int) {
 		out = append(out, ModuleTaint{Module: name, Tainted: tainted, Bits: bitCount})
 	}

@@ -26,7 +26,7 @@ func runCore(t testing.TB, cfg Config, sp *mem.Space, entry uint64, maxCycles in
 	t.Helper()
 	c := NewCore(cfg, sp, IFTOff)
 	c.TrapHook = HaltingHook()
-	c.Reset(entry)
+	c.Restart(entry)
 	c.Run(maxCycles)
 	if !c.Halted {
 		t.Fatalf("core did not halt within %d cycles (pc=%#x, rob=%d)", maxCycles, c.PC(), c.robCount)
@@ -164,7 +164,7 @@ func TestCoreMeltdownForwardsFaultingLoad(t *testing.T) {
 
 	c := NewCore(BOOMConfig(), sp, IFTCellIFT)
 	c.TrapHook = HaltingHook()
-	c.Reset(0x1000)
+	c.Restart(0x1000)
 	c.Run(3000)
 	if !c.Halted {
 		t.Fatal("did not halt")
@@ -313,7 +313,7 @@ func TestCoreMeltdownSamplingTruncation(t *testing.T) {
 
 	xs := NewCore(XiangShanConfig(), sp, IFTCellIFT)
 	xs.TrapHook = HaltingHook()
-	xs.Reset(0x1000)
+	xs.Restart(0x1000)
 	xs.Run(3000)
 	if xs.BugWitness["meltdown-sampling"] == 0 {
 		t.Fatal("B1 truncation path did not fire")
@@ -325,7 +325,7 @@ func TestCoreMeltdownSamplingTruncation(t *testing.T) {
 	// BOOM (no truncation): the unmapped address forwards nothing.
 	boom := NewCore(BOOMConfig(), sp.Clone(), IFTCellIFT)
 	boom.TrapHook = HaltingHook()
-	boom.Reset(0x1000)
+	boom.Restart(0x1000)
 	boom.Run(3000)
 	if boom.DCache.Probe(0x8000 + secret*64) {
 		t.Error("BOOM sampled the secret despite lacking B1")

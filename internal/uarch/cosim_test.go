@@ -72,7 +72,7 @@ func TestCoSimRandomPrograms(t *testing.T) {
 
 			c := NewCore(ConfigFor(kind), sp, IFTOff)
 			c.TrapHook = HaltingHook()
-			c.Reset(0x1000)
+			c.Restart(0x1000)
 			c.Run(20000)
 			if !c.Halted {
 				t.Fatalf("trial %d %v: core did not halt", trial, kind)
@@ -125,7 +125,7 @@ func TestCoSimBranchyPrograms(t *testing.T) {
 
 		c := NewCore(BOOMConfig(), sp, IFTOff)
 		c.TrapHook = HaltingHook()
-		c.Reset(0x1000)
+		c.Restart(0x1000)
 		c.Run(20000)
 		if got, _ := c.ArchReg(8); got != gold.X[8] {
 			t.Fatalf("trial %d: s0 = %d, golden %d", trial, got, gold.X[8])
@@ -150,7 +150,7 @@ func TestTraceInvariants(t *testing.T) {
 			sp.WriteRaw(p.Base, p.Bytes())
 			c := NewCore(ConfigFor(kind), sp, IFTOff)
 			c.TrapHook = HaltingHook()
-			c.Reset(0x1000)
+			c.Restart(0x1000)
 			c.Run(20000)
 			if err := ValidateTrace(c.Trace); err != nil {
 				t.Fatalf("trial %d %v: %v\nprogram:\n%s", trial, kind, err, src)

@@ -9,6 +9,10 @@ type Pair struct {
 }
 
 // NewPair couples two cores. Both are switched to IFTDiff.
+//
+// Pairs are cheap couplings, not resettable state: the execution contexts
+// in internal/core reset each Core in place (Core.Reset) and build a fresh
+// two-word Pair per run.
 func NewPair(a, b *Core) *Pair {
 	a.Mode = IFTDiff
 	b.Mode = IFTDiff

@@ -14,6 +14,15 @@ func NewBHT(entries int) *BHT {
 	return &BHT{counters: make([]uint8, entries), taint: make([]uint64, entries)}
 }
 
+// Reset zeroes every counter and taint shadow in place (the strongly-not-
+// taken construction state).
+func (b *BHT) Reset() {
+	for i := range b.counters {
+		b.counters[i] = 0
+		b.taint[i] = 0
+	}
+}
+
 func (b *BHT) index(pc uint64) int { return int(pc>>2) % len(b.counters) }
 
 // Predict returns the predicted direction for the branch at pc.
@@ -67,6 +76,22 @@ func NewBTBConf(name string, entries, minConf int) *BTB {
 	return &BTB{Name: name, entries: make([]btbEntry, entries), minConf: minConf}
 }
 
+// Reusable reports whether the buffer's allocation and confidence threshold
+// fit a configuration, i.e. whether Reset can stand in for NewBTBConf.
+func (b *BTB) Reusable(entries, minConf int) bool {
+	if minConf < 1 {
+		minConf = 1
+	}
+	return len(b.entries) == entries && b.minConf == minConf
+}
+
+// Reset invalidates every entry in place.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+}
+
 func (b *BTB) index(pc uint64) int { return int(pc>>2) % len(b.entries) }
 
 // Predict returns the cached target for pc, if confident.
@@ -113,11 +138,29 @@ type RAS struct {
 	stack []uint64
 	taint []uint64
 	tos   int // index of next free slot; top entry is stack[tos-1]
+
+	// snap memoises the last Snapshot between mutations: the frontend
+	// snapshots per fetched instruction but the stack only changes on
+	// calls/returns, so most fetches share one immutable snapshot instead
+	// of allocating a copy each.
+	snap      RASSnapshot
+	snapValid bool
 }
 
 // NewRAS builds a return address stack.
 func NewRAS(entries int) *RAS {
 	return &RAS{stack: make([]uint64, entries), taint: make([]uint64, entries)}
+}
+
+// Reset empties the stack in place.
+func (r *RAS) Reset() {
+	for i := range r.stack {
+		r.stack[i] = 0
+		r.taint[i] = 0
+	}
+	r.tos = 0
+	r.snapValid = false
+	r.snap = RASSnapshot{}
 }
 
 func (r *RAS) wrap(i int) int {
@@ -130,11 +173,13 @@ func (r *RAS) Push(addr, taint uint64) {
 	r.stack[r.wrap(r.tos)] = addr
 	r.taint[r.wrap(r.tos)] = taint
 	r.tos++
+	r.snapValid = false
 }
 
 // Pop predicts a return target.
 func (r *RAS) Pop() (addr, taint uint64) {
 	r.tos--
+	r.snapValid = false
 	return r.stack[r.wrap(r.tos)], r.taint[r.wrap(r.tos)]
 }
 
@@ -145,11 +190,18 @@ type RASSnapshot struct {
 	Taint []uint64
 }
 
-// Snapshot copies the current state.
+// Snapshot copies the current state. Consecutive snapshots with no
+// intervening mutation share one immutable copy; holders must treat the
+// snapshot's slices as read-only (every consumer restores FROM them).
 func (r *RAS) Snapshot() RASSnapshot {
+	if r.snapValid {
+		return r.snap
+	}
 	s := RASSnapshot{TOS: r.tos, Stack: make([]uint64, len(r.stack)), Taint: make([]uint64, len(r.taint))}
 	copy(s.Stack, r.stack)
 	copy(s.Taint, r.taint)
+	r.snap = s
+	r.snapValid = true
 	return s
 }
 
@@ -157,6 +209,7 @@ func (r *RAS) Snapshot() RASSnapshot {
 // pointer and the top entry are restored: transient overwrites of deeper
 // entries survive — the Phantom-RSB leak.
 func (r *RAS) Restore(s RASSnapshot, buggyTopOnly bool) {
+	r.snapValid = false
 	if buggyTopOnly {
 		r.tos = s.TOS
 		top := r.wrap(r.tos - 1)
@@ -192,6 +245,19 @@ type LoopPredictor struct {
 // NewLoopPredictor builds a loop predictor.
 func NewLoopPredictor(entries, tripMax int) *LoopPredictor {
 	return &LoopPredictor{entries: make([]loopEntry, entries), tripMax: tripMax}
+}
+
+// Reusable reports whether the predictor's allocation and trip threshold fit
+// a configuration, i.e. whether Reset can stand in for NewLoopPredictor.
+func (l *LoopPredictor) Reusable(entries, tripMax int) bool {
+	return len(l.entries) == entries && l.tripMax == tripMax
+}
+
+// Reset invalidates every entry in place.
+func (l *LoopPredictor) Reset() {
+	for i := range l.entries {
+		l.entries[i] = loopEntry{}
+	}
 }
 
 func (l *LoopPredictor) index(pc uint64) int { return int(pc>>2) % len(l.entries) }

@@ -1,0 +1,155 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+
+	"dejavuzz/internal/isa"
+	"dejavuzz/internal/mem"
+)
+
+// coreObservables captures everything a pipeline analysis can read off a
+// finished core: trace, censuses, sinks, witnesses, counters.
+type coreObservables struct {
+	Cycle     int
+	Committed uint64
+	TrapCount int
+	Insts     int
+	Squashes  int
+	TaintLog  int
+	Census    []ModuleTaint
+	Sinks     []Sink
+	Regs      [32]uint64
+}
+
+func observe(c *Core) coreObservables {
+	o := coreObservables{
+		Cycle:     c.Cycle,
+		Committed: c.Committed,
+		TrapCount: c.TrapCount,
+		Insts:     len(c.Trace.Insts),
+		Squashes:  len(c.Trace.Squashes),
+		TaintLog:  len(c.Trace.TaintLog),
+		Census:    c.Census(),
+		Sinks:     c.Sinks(),
+	}
+	for r := 0; r < 32; r++ {
+		o.Regs[r], _ = c.ArchReg(r)
+	}
+	return o
+}
+
+// resetProbeProgram exercises speculation, memory, predictors and taint: a
+// trained loop, tainted loads, a store and a final trap.
+func resetProbeProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	return isa.MustAsm(0x1000, `
+		li   t0, 0x2000
+		ld   t1, 0(t0)      # tainted load (secret region)
+		li   t2, 4
+	loop:
+		addi t2, t2, -1
+		andi t3, t1, 0x3f
+		slli t3, t3, 3
+		li   t4, 0x8000
+		add  t4, t4, t3
+		ld   t5, 0(t4)      # secret-indexed load
+		sd   t1, 64(t4)
+		bnez t2, loop
+		ecall
+	`)
+}
+
+// TestCoreResetEquivalence is the heart of the context-reuse refactor: a
+// Reset core must be indistinguishable from a freshly constructed one. The
+// same program runs on (a) a fresh core, (b) a core that already executed a
+// different polluting program and was Reset, and (c) the same core Reset
+// again — all three must produce identical observables.
+func TestCoreResetEquivalence(t *testing.T) {
+	for _, kind := range []CoreKind{KindBOOM, KindXiangShan} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := ConfigFor(kind)
+			probe := resetProbeProgram(t)
+			pollute := isa.MustAsm(0x1000, `
+				li   t0, 0x2000
+				ld   t1, 0(t0)
+				li   t2, 0x9000
+				sd   t1, 0(t2)
+				sd   t1, 128(t2)
+				jal  ra, next
+			next:
+				ret
+				ecall
+			`)
+
+			freshRun := func(p *isa.Program) coreObservables {
+				sp := testSpace(t, mem.PermRead, mem.FaultAccess)
+				sp.SetTaint(0x2000, 8, true)
+				loadProgram(sp, p)
+				c := NewCore(cfg, sp, IFTCellIFT)
+				c.TaintTraceOn = true
+				c.TrapHook = HaltingHook()
+				c.Restart(p.Base)
+				c.Run(4000)
+				return observe(c)
+			}
+			want := freshRun(probe)
+
+			// One long-lived core + space, reset between runs.
+			sp := testSpace(t, mem.PermRead, mem.FaultAccess)
+			sp.SetTaint(0x2000, 8, true)
+			loadProgram(sp, pollute)
+			c := NewCore(cfg, sp, IFTCellIFT)
+			c.TaintTraceOn = true
+			c.TrapHook = HaltingHook()
+			c.Restart(pollute.Base)
+			c.Run(4000)
+
+			for round := 0; round < 2; round++ {
+				sp.Reset()
+				sp.SetTaint(0x2000, 8, true)
+				loadProgram(sp, probe)
+				c.Reset(cfg, sp, IFTCellIFT)
+				c.TaintTraceOn = true
+				c.TrapHook = HaltingHook()
+				c.Restart(probe.Base)
+				c.Run(4000)
+				got := observe(c)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("round %d: reset core diverges from fresh core:\nfresh: %+v\nreset: %+v", round, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSpaceResetEquivalence pins mem.Space.Reset: a polluted, permission-
+// mutated space must come back byte- and permission-identical to a fresh
+// one.
+func TestSpaceResetEquivalence(t *testing.T) {
+	fresh := testSpace(t, mem.PermRead, mem.FaultAccess)
+	used := testSpace(t, mem.PermRead, mem.FaultAccess)
+	used.WriteRaw(0x8000, []byte{1, 2, 3, 4})
+	used.SetTaint(0x8100, 16, true)
+	if err := used.SetPerm("secret", 0); err != nil {
+		t.Fatal(err)
+	}
+	used.Reset()
+
+	for _, base := range []uint64{0x1000, 0x2000, 0x8000} {
+		fr, ur := fresh.Region(base), used.Region(base)
+		if fr.Perm != ur.Perm {
+			t.Errorf("region %#x: perm %v after reset, want %v", base, ur.Perm, fr.Perm)
+		}
+		fb := fresh.ReadRaw(base, 64)
+		ub := used.ReadRaw(base, 64)
+		if !reflect.DeepEqual(fb, ub) {
+			t.Errorf("region %#x: bytes differ after reset", base)
+		}
+		ft := fresh.TaintRaw(base, 64)
+		ut := used.TaintRaw(base, 64)
+		if !reflect.DeepEqual(ft, ut) {
+			t.Errorf("region %#x: taints differ after reset", base)
+		}
+	}
+}

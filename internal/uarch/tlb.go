@@ -28,6 +28,16 @@ func NewTLB(name string, cfg TLBConfig, next *TLB) *TLB {
 	return &TLB{Name: name, cfg: cfg, entries: make([]tlbEntry, cfg.Entries), next: next}
 }
 
+// Reset returns the TLB to its construction-time state in place (entries
+// and statistics zeroed; the next-level link is untouched).
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+	t.Accesses = 0
+	t.Misses = 0
+}
+
 func (t *TLB) vpn(addr uint64) uint64 { return addr >> t.cfg.PageBits }
 
 // Lookup translates addr, returning the added latency. Fills persist across

@@ -92,6 +92,15 @@ func NewTrace() *Trace {
 	return &Trace{bySeq: make(map[uint64]int)}
 }
 
+// Reset empties the trace in place, keeping slice capacity across reuse.
+func (t *Trace) Reset() {
+	t.Insts = t.Insts[:0]
+	t.Squashes = t.Squashes[:0]
+	t.TaintLog = t.TaintLog[:0]
+	t.TaintSumByCycle = t.TaintSumByCycle[:0]
+	clear(t.bySeq)
+}
+
 func (t *Trace) enqueue(seq, pc uint64, in isa.Inst, cycle int) {
 	t.bySeq[seq] = len(t.Insts)
 	t.Insts = append(t.Insts, InstRecord{

@@ -39,13 +39,16 @@ echo "== start server (state=$STATE)"
 SRV_PID=$!
 wait_healthy
 
+# 60k iterations: the context-reuse engine runs isasim at ~6k iters/s per
+# worker, so the campaign must be long enough to still be mid-flight when
+# the SIGTERM lands a few curl round-trips after the first barrier.
 echo "== create isasim campaign"
 CREATE=$(curl -fs -X POST "$BASE/campaigns" \
-  -d '{"name":"smoke","options":{"target":"isasim","seed":7,"iterations":20000,"merge_every":64}}')
+  -d '{"name":"smoke","options":{"target":"isasim","seed":7,"iterations":60000,"merge_every":64}}')
 ID=$(echo "$CREATE" | field id)
 TOTAL=$(echo "$CREATE" | field total)
 [ -n "$ID" ] || fail "create returned no id: $CREATE"
-[ "$TOTAL" = "20000" ] || fail "create returned total=$TOTAL, want 20000"
+[ "$TOTAL" = "60000" ] || fail "create returned total=$TOTAL, want 60000"
 echo "   campaign $ID, $TOTAL iterations"
 
 echo "== wait for first merge barrier"
