@@ -5,15 +5,19 @@
 //
 //	dejavuzz [-target boom|xiangshan|isasim] [-n iterations] [-seed N]
 //	         [-workers N] [-shards N] [-variant derived|random]
-//	         [-no-feedback] [-no-liveness] [-no-reduction] [-bugless]
-//	         [-checkpoint state.json] [-progress] [-v]
+//	         [-scenarios fam1,fam2,...] [-no-feedback] [-no-liveness]
+//	         [-no-reduction] [-bugless] [-checkpoint state.json]
+//	         [-progress] [-v]
 //
 // Campaigns are deterministic: the same -seed/-n/-shards produce identical
 // findings and coverage for any -workers value. Single campaigns run as a
 // streaming session: -progress streams per-barrier events, -checkpoint
 // autosaves a resumable checkpoint at every merge barrier, and Ctrl-C stops
 // at the next barrier — re-running the same command resumes from the saved
-// checkpoint. -list-targets prints the target registry.
+// checkpoint. -list-targets prints the target registry; -list-scenarios
+// prints the scenario-family catalog; -scenarios restricts a campaign to
+// the named families (a determinism-relevant option: resuming a checkpoint
+// under a different set fails with an option-mismatch error).
 //
 // Matrix mode runs a grid of campaigns (cores × variants × ablations ×
 // seeds) over a shared worker pool with optional whole-campaign
@@ -60,6 +64,7 @@ func realMain() int {
 	workers := flag.Int("workers", 1, "parallel simulation workers (wall-time only; never changes results)")
 	shards := flag.Int("shards", 0, "deterministic logical shards (0 = default 8; changes stimulus streams)")
 	variant := flag.String("variant", "derived", "training strategy: derived (DejaVuzz) or random (DejaVuzz*)")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario families to fuzz (see -list-scenarios; default all)")
 	noFeedback := flag.Bool("no-feedback", false, "disable taint-coverage feedback (DejaVuzz-)")
 	noLiveness := flag.Bool("no-liveness", false, "disable tainted-sink liveness analysis")
 	noReduction := flag.Bool("no-reduction", false, "disable training reduction")
@@ -70,6 +75,7 @@ func realMain() int {
 	checkpoint := flag.String("checkpoint", "", "resumable checkpoint file (per-barrier in single mode, per-campaign in matrix mode)")
 	progress := flag.Bool("progress", false, "stream per-barrier progress to stderr")
 	listTargets := flag.Bool("list-targets", false, "list registered targets and exit")
+	listScenarios := flag.Bool("list-scenarios", false, "print the scenario catalog (markdown table) and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
@@ -114,6 +120,11 @@ func realMain() int {
 		}
 		return 0
 	}
+	if *listScenarios {
+		// Exactly the README's scenario-catalog table; CI diffs the two.
+		fmt.Print(dejavuzz.ScenarioCatalogTable())
+		return 0
+	}
 
 	targetName, err := resolveTarget(*target, *coreName)
 	if err != nil {
@@ -121,6 +132,11 @@ func realMain() int {
 		return 2
 	}
 	trainVariant, err := parseVariant(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	scenarioSet, err := parseScenarios(*scenarios)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -148,6 +164,7 @@ func realMain() int {
 		base.UseLiveness = !*noLiveness
 		base.UseReduction = !*noReduction
 		base.Bugless = *bugless
+		base.Scenarios = scenarioSet
 		return runMatrix(ctx, *matrix, base, *workers, *checkpoint, *progress)
 	}
 
@@ -167,6 +184,9 @@ func realMain() int {
 	}
 	if *shards > 0 {
 		opts = append(opts, dejavuzz.WithShards(*shards))
+	}
+	if len(scenarioSet) > 0 {
+		opts = append(opts, dejavuzz.WithScenarios(scenarioSet...))
 	}
 	if *checkpoint != "" {
 		opts = append(opts, dejavuzz.WithCheckpointFile(*checkpoint))
@@ -350,6 +370,26 @@ func resolveTarget(target, coreName string) (string, error) {
 		return "", err
 	}
 	return target, nil
+}
+
+// parseScenarios splits and validates the -scenarios list against the
+// registry, so a typo fails up front with the registered names.
+func parseScenarios(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		out = append(out, name)
+	}
+	if err := core.ValidateScenarios(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func parseVariant(name string) (gen.Variant, error) {

@@ -61,6 +61,26 @@ type Result struct {
 	// dedup down to.
 	TriageFindingsPerSec float64 `json:"triage_findings_per_sec"`
 	TriagedBugs          int     `json:"triaged_bugs"`
+	// Scenarios carries the per-family trajectory of the Workers=1 run:
+	// how the adaptive scheduler allocated iterations, each family's
+	// effective throughput and how long it took to its first finding.
+	Scenarios []ScenarioBench `json:"scenarios"`
+}
+
+// ScenarioBench is one scenario family's benchmark row.
+type ScenarioBench struct {
+	Name string `json:"name"`
+	// Picks is how many of the campaign's iterations ran this family;
+	// ItersPerSec is the family's share of campaign throughput.
+	Picks       int     `json:"picks"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+	// Findings counts the family's raw findings; TimeToFirstFindingMS
+	// estimates the wall-clock time to its first one (-1 when none),
+	// prorated the same way the engine estimates Report.FirstBug.
+	Findings             int     `json:"findings"`
+	TimeToFirstFindingMS float64 `json:"time_to_first_finding_ms"`
+	// Weight is the adaptive scheduler's final sampling weight.
+	Weight float64 `json:"weight"`
 }
 
 // run executes one campaign and reports throughput plus the heap-allocation
@@ -174,6 +194,26 @@ func main() {
 		if probe <= len(hist) {
 			res.CoverageAt[fmt.Sprint(probe)] = hist[probe-1]
 		}
+	}
+
+	// Per-scenario trajectory from the Workers=1 run: family throughput is
+	// its pick share of the campaign rate; time-to-first-finding prorates
+	// the campaign duration to the finding's iteration, mirroring the
+	// engine's Report.FirstBug estimate.
+	for _, sc := range rep1.Scenarios {
+		row := ScenarioBench{
+			Name:                 sc.Name,
+			Picks:                sc.Picks,
+			ItersPerSec:          float64(sc.Picks) / rep1.Duration.Seconds(),
+			Findings:             sc.Findings,
+			TimeToFirstFindingMS: -1,
+			Weight:               sc.Weight,
+		}
+		if sc.FirstFindingIter >= 0 {
+			frac := float64(sc.FirstFindingIter+1) / float64(*n)
+			row.TimeToFirstFindingMS = frac * float64(rep1.Duration.Milliseconds())
+		}
+		res.Scenarios = append(res.Scenarios, row)
 	}
 
 	res.TriageFindingsPerSec, res.TriagedBugs, err = benchTriage(*target, *seed, rep1.Findings)

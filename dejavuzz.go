@@ -38,6 +38,7 @@ package dejavuzz
 import (
 	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
+	"dejavuzz/internal/scenario"
 	"dejavuzz/internal/uarch"
 
 	// Register the "isasim" architectural differential target.
@@ -69,8 +70,31 @@ type Finding = core.Finding
 // Report is the result of a fuzzing campaign.
 type Report = core.Report
 
-// TriggerType enumerates the transient-window trigger classes.
+// TriggerType enumerates the legacy transient-window trigger classes.
+// Scenario families (see Scenarios) are the finer-grained identity new
+// workloads register under; every family maps onto one trigger class.
 type TriggerType = gen.TriggerType
+
+// ScenarioStat is one scenario family's cumulative campaign statistics
+// (picks, coverage yield, findings, adaptive sampling weight), reported on
+// every Epoch event and in the final Report.
+type ScenarioStat = core.ScenarioStat
+
+// ScenarioInfo describes one registered scenario family: its Table-3
+// trigger and window classes, the built-in targets that can observe its
+// trigger, and its capability flags.
+type ScenarioInfo = scenario.Info
+
+// Scenarios returns the sorted names of every registered scenario family.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioCatalog returns one ScenarioInfo per registered family, sorted
+// by name.
+func ScenarioCatalog() []ScenarioInfo { return scenario.Catalog() }
+
+// ScenarioCatalogTable renders the catalog as the canonical markdown table
+// `dejavuzz -list-scenarios` prints and the README embeds.
+func ScenarioCatalogTable() string { return scenario.CatalogTable() }
 
 // Target is a pluggable design under test: it supplies the stimulus
 // personality and the per-campaign iteration pipeline. See RegisterTarget.

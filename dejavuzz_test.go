@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dejavuzz/internal/campaign"
@@ -50,6 +51,15 @@ func reportFingerprint(t *testing.T, rep *Report) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+func TestNewRejectsUnknownScenario(t *testing.T) {
+	if _, err := New("boom", WithScenarios("warp-drive")); err == nil {
+		t.Fatal("New accepted an unregistered scenario family")
+	}
+	if _, err := New("boom", WithScenarios("cache-occupancy")); err != nil {
+		t.Fatalf("New rejected a registered family: %v", err)
+	}
 }
 
 func TestNewUnknownTarget(t *testing.T) {
@@ -364,6 +374,29 @@ func TestResumeRejectsMismatchedOptions(t *testing.T) {
 	}
 	if _, err := mk(3).Resume(context.Background(), nil); err == nil {
 		t.Fatal("resume accepted a nil checkpoint")
+	}
+
+	// A different -scenarios set is an option mismatch too, and the error
+	// must say so by name — never silently diverge into another campaign.
+	mkScn := func(fams ...string) *Campaign {
+		c, err := New("boom", WithSeed(3), WithIterations(16), WithMergeEvery(4),
+			WithScenarios(fams...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ck = midCampaignCheckpoint(t, mkScn("branch-mispredict", "page-fault"), 4)
+	_, err := mkScn("branch-mispredict", "nested-fault-in-branch").Resume(context.Background(), ck)
+	if err == nil {
+		t.Fatal("resume accepted a checkpoint from a different -scenarios set")
+	}
+	if !strings.Contains(err.Error(), "scenarios") {
+		t.Fatalf("scenario mismatch error does not name the option: %v", err)
+	}
+	// Order does not matter: the set is normalized before comparison.
+	if _, err := mkScn("page-fault", "branch-mispredict").Resume(context.Background(), ck); err != nil {
+		t.Fatalf("reordered scenario set failed to resume: %v", err)
 	}
 }
 

@@ -210,6 +210,30 @@ func TestCheckpointOptionMismatch(t *testing.T) {
 	if res[0].Report.Options.Seed != 999 {
 		t.Fatalf("re-run used seed %d, want 999", res[0].Report.Options.Seed)
 	}
+
+	// A different -scenarios set invalidates too, and the log names the
+	// mismatched option so the re-run is auditable.
+	scoped := changed
+	scoped.Base.Scenarios = []string{"page-fault"}
+	var log bytes.Buffer
+	res, err = (&Runner{Checkpoint: path, Progress: &log}).RunMatrix(scoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Cached {
+		t.Fatal("scenario-set mismatch served a stale checkpoint entry")
+	}
+	if got := log.String(); !strings.Contains(got, "mismatched options") || !strings.Contains(got, "scenarios") {
+		t.Fatalf("invalidation log does not name the scenarios mismatch:\n%s", got)
+	}
+	// And the scoped result itself is served from cache on a re-run.
+	res, err = (&Runner{Checkpoint: path}).RunMatrix(scoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Cached {
+		t.Fatal("scoped campaign was not checkpointed")
+	}
 }
 
 func TestCheckpointRejectsGarbage(t *testing.T) {

@@ -9,8 +9,12 @@ import (
 	"dejavuzz/internal/core"
 )
 
-// checkpointVersion guards against format drift between PRs.
-const checkpointVersion = 1
+// checkpointVersion guards against format drift between PRs. Version 2
+// marks the scenario-scheduler engine: campaign results changed for
+// identical options (adaptive family sampling reshaped the stimulus
+// streams), so pre-scheduler checkpoints must not be served as cached
+// results for specs they no longer correspond to.
+const checkpointVersion = 2
 
 // checkpoint is the on-disk resume state: finished campaign reports keyed by
 // spec name. Reports round-trip losslessly through JSON (seeds included), so

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"io"
+	"strings"
 	"sync"
 
 	"dejavuzz/internal/core"
@@ -65,8 +66,11 @@ func (r *Runner) RunContext(ctx context.Context, specs []Spec) ([]Result, error)
 		rep, ok := ckpt.Results[spec.Name]
 		if ok && !resultMatches(rep, spec.Opts) {
 			// Same key, different determinism-relevant options: the stale
-			// entry must not masquerade as this spec's result.
-			progress.Logf("[%s] checkpoint entry has mismatched options; re-running", spec.Name)
+			// entry must not masquerade as this spec's result. The diff
+			// names what changed (e.g. a different -scenarios set), so the
+			// invalidation is auditable instead of a bare mismatch.
+			progress.Logf("[%s] checkpoint entry has mismatched options (%s); re-running",
+				spec.Name, strings.Join(spec.Opts.DiffFrom(rep.Options), "; "))
 			ok = false
 		}
 		if ok {

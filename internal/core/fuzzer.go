@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dejavuzz/internal/gen"
+	"dejavuzz/internal/scenario"
 	"dejavuzz/internal/uarch"
 )
 
@@ -45,6 +47,12 @@ type Options struct {
 	MergeEvery int
 	MaxCycles  int
 
+	// Scenarios restricts the campaign to the named scenario families
+	// (include filter); nil or empty means every registered family. Like
+	// Shards, the set is determinism-relevant: it reshapes the stimulus
+	// streams, is serialised into checkpoints, and a resume with a
+	// different set fails with an option-mismatch error.
+	Scenarios []string
 	// Variant selects derived (DejaVuzz) or random (DejaVuzz*) training.
 	Variant gen.Variant
 	// UseCoverageFeedback drives mutation from the taint coverage matrix;
@@ -103,7 +111,36 @@ func (o Options) Normalized() Options {
 	if o.Target == "" {
 		o.Target = BuiltinTargetName(o.Core)
 	}
+	o.Scenarios = normalizeScenarios(o.Scenarios)
 	return o
+}
+
+// normalizeScenarios sorts and deduplicates a scenario filter; empty
+// collapses to nil (every registered family).
+func normalizeScenarios(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	n := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[n] = s
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// ValidateScenarios checks a scenario filter against the registry.
+func ValidateScenarios(names []string) error {
+	for _, n := range names {
+		if _, err := scenario.Lookup(n); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EquivalentTo reports whether two option sets are determinism-equivalent:
@@ -118,6 +155,49 @@ func (o Options) EquivalentTo(other Options) bool {
 	// Options contains func fields (nil after the stripping above), so the
 	// comparison goes through reflect.DeepEqual rather than ==.
 	return reflect.DeepEqual(a, b)
+}
+
+// DiffFrom describes, field by field, how two option sets differ in their
+// determinism-relevant fields — the human-readable half of the
+// option-mismatch invalidation path, so a refused checkpoint resume names
+// exactly what changed (e.g. a different -scenarios set) instead of
+// reporting a bare mismatch.
+func (o Options) DiffFrom(other Options) []string {
+	a, b := o.Normalized(), other.Normalized()
+	var diffs []string
+	add := func(field string, have, want any) {
+		if !reflect.DeepEqual(have, want) {
+			diffs = append(diffs, fmt.Sprintf("%s: %v vs %v", field, have, want))
+		}
+	}
+	add("target", a.Target, b.Target)
+	add("core", a.Core, b.Core)
+	add("seed", a.Seed, b.Seed)
+	add("iterations", a.Iterations, b.Iterations)
+	add("shards", a.Shards, b.Shards)
+	add("merge_every", a.MergeEvery, b.MergeEvery)
+	add("max_cycles", a.MaxCycles, b.MaxCycles)
+	add("scenarios", scenarioSetString(a.Scenarios), scenarioSetString(b.Scenarios))
+	add("variant", a.Variant, b.Variant)
+	add("coverage_feedback", a.UseCoverageFeedback, b.UseCoverageFeedback)
+	add("liveness", a.UseLiveness, b.UseLiveness)
+	add("reduction", a.UseReduction, b.UseReduction)
+	add("bugless", a.Bugless, b.Bugless)
+	add("secret_retries", a.SecretRetries, b.SecretRetries)
+	// EquivalentTo compares whole structs via DeepEqual, so a mismatch in a
+	// field this enumeration has not caught up with yet must still surface
+	// instead of rendering as an empty diff.
+	if len(diffs) == 0 && !o.EquivalentTo(other) {
+		diffs = append(diffs, "options differ in a field DiffFrom does not enumerate")
+	}
+	return diffs
+}
+
+func scenarioSetString(s []string) string {
+	if len(s) == 0 {
+		return "all"
+	}
+	return strings.Join(s, ",")
 }
 
 // DefaultOptions returns the standard DejaVuzz configuration.
@@ -150,6 +230,9 @@ func DefaultOptionsFor(t Target) Options {
 // IterStat records one fuzzing iteration's outcome (Figure 7's x-axis unit).
 type IterStat struct {
 	Iteration int
+	// Scenario is the iteration's scenario family (the scheduler's pick, or
+	// the mutated corpus seed's family).
+	Scenario  string
 	Trigger   gen.TriggerType
 	Triggered bool
 	TaintGain bool
@@ -167,11 +250,31 @@ type IterStat struct {
 	Finding  bool
 }
 
+// ScenarioStat is one scenario family's cumulative campaign statistics:
+// how often the scheduler picked it, what it yielded, and its current
+// adaptive sampling weight. The engine reports them on every merge barrier
+// (per-family observables for session streams) and in the final report.
+type ScenarioStat struct {
+	Name string `json:"name"`
+	// Picks is how many iterations ran this family.
+	Picks int `json:"picks"`
+	// Points is the family's accumulated shard-local coverage gain.
+	Points int `json:"points"`
+	// Findings counts the family's reported findings.
+	Findings int `json:"findings"`
+	// Weight is the scheduler's sampling weight after the latest barrier.
+	Weight float64 `json:"weight"`
+	// FirstFindingIter is the iteration of the family's first finding
+	// (-1 when it has none yet) — the time-to-first-finding probe.
+	FirstFindingIter int `json:"first_finding_iter"`
+}
+
 // Report is a fuzzing campaign's result.
 type Report struct {
 	Options   Options
 	Findings  []Finding
 	Iters     []IterStat
+	Scenarios []ScenarioStat // per-family stats, sorted by name
 	Coverage  int
 	Sims      int
 	Duration  time.Duration
@@ -202,8 +305,11 @@ type ShardState struct {
 	PickCount int     `json:"pick_count"`
 }
 
-// EngineStateVersion guards the checkpoint format against drift between PRs.
-const EngineStateVersion = 1
+// EngineStateVersion guards the checkpoint format against drift between
+// PRs. Version 2 added the adaptive scenario-scheduler state (weights and
+// per-family statistics); version-1 checkpoints predate the scheduler and
+// cannot resume byte-identically, so they are refused.
+const EngineStateVersion = 2
 
 // EngineState is a resumable mid-campaign snapshot, taken at a merge
 // barrier. Because shard generators are re-seeded from (campaign seed,
@@ -227,6 +333,12 @@ type EngineState struct {
 	Iters     []IterStat   `json:"iters"`
 	Marks     []EpochMark  `json:"marks"`
 	DeadSinks int          `json:"dead_sinks"`
+	// SchedWeights is the adaptive scenario scheduler's weight vector at the
+	// barrier; Scenarios are the cumulative per-family statistics. Both are
+	// part of the determinism-relevant state: the next epoch's family picks
+	// depend on the weights, so resume must restore them exactly.
+	SchedWeights []scenario.Weight `json:"sched_weights"`
+	Scenarios    []ScenarioStat    `json:"scenario_stats"`
 }
 
 // Barrier is the payload of one merge-barrier event.
@@ -240,6 +352,9 @@ type Barrier struct {
 	Coverage int
 	// Findings are the findings merged at this barrier, iteration-ordered.
 	Findings []Finding
+	// Scenarios are the cumulative per-family statistics after this
+	// barrier's scheduler update, sorted by name.
+	Scenarios []ScenarioStat
 
 	snapshot func() *EngineState
 }
@@ -257,6 +372,12 @@ type Fuzzer struct {
 	coverage *Coverage
 	corpus   []gen.Seed // merged global corpus, mutated only at barriers
 	pipeline Pipeline
+	// families is the campaign's enabled scenario set (sorted); sched is the
+	// coverage-adaptive sampler over it, read-only during epochs and updated
+	// at barriers; scnStats accumulates per-family campaign statistics.
+	families []string
+	sched    *scenario.Scheduler
+	scnStats map[string]*ScenarioStat
 	// seq is the lazily built sequential pipeline the exported Phase1/2/3
 	// and Reproduce entry points borrow (single-goroutine use only).
 	seq *uarchShard
@@ -281,17 +402,31 @@ func NewFuzzer(opts Options) *Fuzzer {
 	if err != nil {
 		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
 	}
+	if err := ValidateScenarios(opts.Scenarios); err != nil {
+		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
+	}
 	opts.Core = t.Kind()
 	cfg := uarch.ConfigFor(opts.Core)
 	if opts.Bugless {
 		cfg.Bugs = uarch.BugSet{}
+	}
+	families := opts.Scenarios
+	if len(families) == 0 {
+		families = scenario.Names()
 	}
 	f := &Fuzzer{
 		opts:     opts,
 		cfg:      cfg,
 		gen:      gen.New(opts.Seed),
 		coverage: NewCoverage(),
+		families: families,
+		sched:    scenario.NewScheduler(families),
+		scnStats: make(map[string]*ScenarioStat, len(families)),
 	}
+	// The fuzzer-level generator (the Generator() seam experiments and
+	// examples mutate through) honours the campaign's scenario filter just
+	// like the per-shard generators do.
+	f.gen.SetScenarios(families)
 	f.pipeline = t.NewPipeline(f)
 	f.shards = make([]*shard, opts.Shards)
 	for i := range f.shards {
@@ -326,6 +461,10 @@ func NewFuzzerFromState(st *EngineState, opts Options) (*Fuzzer, error) {
 		return nil, fmt.Errorf("core: engine state version %d, want %d", st.Version, EngineStateVersion)
 	}
 	if !st.Options.EquivalentTo(opts) {
+		if diffs := opts.DiffFrom(st.Options); len(diffs) > 0 {
+			return nil, fmt.Errorf("core: option mismatch between campaign and checkpoint (campaign vs checkpoint): %s",
+				strings.Join(diffs, "; "))
+		}
 		return nil, fmt.Errorf("core: engine state options do not match campaign options")
 	}
 	norm := st.Options.Normalized()
@@ -362,6 +501,18 @@ func NewFuzzerFromState(st *EngineState, opts Options) (*Fuzzer, error) {
 		s.gainCount = st.Shards[i].GainCount
 		s.pickCount = st.Shards[i].PickCount
 	}
+	// Restore the adaptive scheduler exactly as it was at the barrier: the
+	// next epoch's family picks depend on these weights, so a lossy restore
+	// would silently break byte-identical resume.
+	sched, err := scenario.NewSchedulerFromWeights(f.families, st.SchedWeights)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f.sched = sched
+	for i := range st.Scenarios {
+		cs := st.Scenarios[i]
+		f.scnStats[cs.Name] = &cs
+	}
 	return f, nil
 }
 
@@ -381,6 +532,10 @@ func (f *Fuzzer) snapshot(nextIter, nextEpoch int) *EngineState {
 		Iters:     append([]IterStat(nil), f.iters[:nextIter]...),
 		Marks:     append([]EpochMark(nil), f.marks...),
 		DeadSinks: f.deadSinks,
+		// Scheduler state at the barrier: weights drive the next epoch's
+		// family picks, stats carry the per-family observables forward.
+		SchedWeights: f.sched.Weights(),
+		Scenarios:    f.scenarioStats(),
 	}
 	st.Options.OnEpoch = nil
 	st.Options.OnBarrier = nil
@@ -389,6 +544,27 @@ func (f *Fuzzer) snapshot(nextIter, nextEpoch int) *EngineState {
 	}
 	return st
 }
+
+// scenarioStats exports cumulative per-family statistics, sorted by
+// name, with each family's current scheduler weight filled in. Families the
+// campaign has not picked yet are included at zero so consumers always see
+// the full enabled set.
+func (f *Fuzzer) scenarioStats() []ScenarioStat {
+	out := make([]ScenarioStat, 0, len(f.families))
+	for _, name := range f.families {
+		if cs, ok := f.scnStats[name]; ok {
+			s := *cs
+			s.Weight = f.sched.WeightOf(name)
+			out = append(out, s)
+			continue
+		}
+		out = append(out, ScenarioStat{Name: name, Weight: f.sched.WeightOf(name), FirstFindingIter: -1})
+	}
+	return out
+}
+
+// ScenarioFamilies returns the campaign's enabled scenario families, sorted.
+func (f *Fuzzer) ScenarioFamilies() []string { return append([]string(nil), f.families...) }
 
 // Options returns the fuzzer's normalized options.
 func (f *Fuzzer) Options() Options { return f.opts }
@@ -436,7 +612,10 @@ func (s *shard) nextSeed() gen.Seed {
 		return s.gen.Mutate(base)
 	}
 	s.pickCount++
-	sd := s.gen.RandomSeed(s.f.opts.Core)
+	// Fresh seeds draw their family through the campaign's coverage-adaptive
+	// scheduler (read-only during the epoch; the shard's own RNG supplies
+	// the randomness, so streams stay worker-independent).
+	sd := s.gen.ScheduledSeed(s.f.opts.Core, s.f.sched)
 	sd.Variant = s.f.opts.Variant
 	return sd
 }
@@ -459,7 +638,7 @@ func (s *shard) feedback(seed gen.Seed, newPoints int, taintGain bool) {
 // against the shard's private state.
 func (s *shard) runIteration(iter int) IterStat {
 	seed := s.nextSeed()
-	stat := IterStat{Iteration: iter, Trigger: seed.Trigger}
+	stat := IterStat{Iteration: iter, Scenario: gen.ScenarioName(seed), Trigger: seed.Trigger}
 
 	out := s.pipe.RunIteration(iter, seed, s.cov)
 	stat.Triggered = out.Triggered
@@ -531,6 +710,7 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 		for _, s := range f.shards {
 			if s.gen == nil {
 				s.gen = gen.NewEpochShard(f.opts.Seed, s.id, epoch)
+				s.gen.SetScenarios(f.families)
 			} else {
 				s.gen.Reseed(gen.EpochShardSeed(f.opts.Seed, s.id, epoch))
 			}
@@ -585,18 +765,51 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 		f.findings = append(f.findings, epochFindings...)
 		merged := f.coverage.Count()
 		f.marks = append(f.marks, EpochMark{End: hi, Count: merged})
+
+		// Adaptive scenario scheduling: fold the epoch's per-family yield —
+		// read from the iteration records in deterministic iteration order —
+		// into the cumulative stats and the scheduler weights. This happens
+		// before snapshots and events, so both observe the post-update state
+		// the next epoch will sample from.
+		epochYield := make(map[string]scenario.Yield, len(f.families))
+		for i := lo; i < hi; i++ {
+			it := &f.iters[i]
+			y := epochYield[it.Scenario]
+			y.Picks++
+			y.Points += it.NewPoints
+			if it.Finding {
+				y.Findings++
+			}
+			epochYield[it.Scenario] = y
+			cs := f.scnStats[it.Scenario]
+			if cs == nil {
+				cs = &ScenarioStat{Name: it.Scenario, FirstFindingIter: -1}
+				f.scnStats[it.Scenario] = cs
+			}
+			cs.Picks++
+			cs.Points += it.NewPoints
+			if it.Finding {
+				cs.Findings++
+				if cs.FirstFindingIter < 0 {
+					cs.FirstFindingIter = i
+				}
+			}
+		}
+		f.sched.Update(epochYield)
+
 		if f.opts.OnEpoch != nil {
 			f.opts.OnEpoch(hi, n, merged)
 		}
 		if f.opts.OnBarrier != nil {
 			nextIter, nextEpoch := hi, epoch+1
 			f.opts.OnBarrier(&Barrier{
-				Epoch:    epoch,
-				Done:     hi,
-				Total:    n,
-				Coverage: merged,
-				Findings: epochFindings,
-				snapshot: func() *EngineState { return f.snapshot(nextIter, nextEpoch) },
+				Epoch:     epoch,
+				Done:      hi,
+				Total:     n,
+				Coverage:  merged,
+				Findings:  epochFindings,
+				Scenarios: f.scenarioStats(),
+				snapshot:  func() *EngineState { return f.snapshot(nextIter, nextEpoch) },
 			})
 		}
 	}
@@ -640,6 +853,7 @@ func (f *Fuzzer) finalize(start time.Time) *Report {
 	})
 	rep.DeadSinks = f.deadSinks
 	rep.Iters = f.iters
+	rep.Scenarios = f.scenarioStats()
 	rep.Coverage = f.coverage.Count()
 	rep.Duration = time.Since(start)
 	rep.FirstBug = firstBug

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dejavuzz/internal/gen"
+	"dejavuzz/internal/scenario"
 	"dejavuzz/internal/uarch"
 )
 
@@ -242,15 +243,32 @@ type Finding struct {
 	Kind       FindingKind
 	AttackType string // "Meltdown" or "Spectre"
 	Window     gen.TriggerType
+	// Scenario is the stimulus' scenario-family name; empty on findings
+	// that predate named scenarios (triage falls back to the window class's
+	// canonical family).
+	Scenario   string   `json:",omitempty"`
 	Components []string // encoded / contended timing components
 	BugLabels  []string // mechanism witnesses (B1-B5) observed during the run
 	Seed       gen.Seed
 	Iteration  int
 }
 
+// ScenarioName returns the finding's effective scenario family (canonical
+// for its window class when the finding predates named scenarios; the raw
+// window rendering when its class does not exist — hand-crafted findings).
+func (f *Finding) ScenarioName() string {
+	if f.Scenario != "" {
+		return f.Scenario
+	}
+	if f.Window < 0 || f.Window >= gen.NumTriggerTypes {
+		return f.Window.String()
+	}
+	return scenario.ByTrigger(f.Window).Name()
+}
+
 func (f *Finding) String() string {
-	return fmt.Sprintf("%s %s window=%v components=%v bugs=%v",
-		f.AttackType, f.Kind, f.Window, f.Components, f.BugLabels)
+	return fmt.Sprintf("%s %s scenario=%s window=%v components=%v bugs=%v",
+		f.AttackType, f.Kind, f.ScenarioName(), f.Window, f.Components, f.BugLabels)
 }
 
 // Phase3Result carries the leakage analysis outcome.
@@ -296,6 +314,7 @@ func (s *uarchShard) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, 
 			Kind:       FindingTiming,
 			AttackType: attack,
 			Window:     cst.Seed.Trigger,
+			Scenario:   gen.ScenarioName(cst.Seed),
 			Components: timingComponents(pair.A),
 			BugLabels:  bugLabels(pair.A),
 			Seed:       cst.Seed,
@@ -355,6 +374,7 @@ func (s *uarchShard) Phase3(p1 *Phase1Result, p2 *Phase2Result) (*Phase3Result, 
 		Kind:       FindingEncoded,
 		AttackType: attack,
 		Window:     cst.Seed.Trigger,
+		Scenario:   gen.ScenarioName(cst.Seed),
 		Components: liveComponents,
 		BugLabels:  labels,
 		Seed:       cst.Seed,

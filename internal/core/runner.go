@@ -8,6 +8,7 @@ package core
 import (
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/mem"
+	"dejavuzz/internal/scenario"
 	"dejavuzz/internal/swapmem"
 	"dejavuzz/internal/uarch"
 )
@@ -178,21 +179,22 @@ func RunDiffFN(sched *swapmem.Schedule, opts RunOpts) *DiffRun {
 	return NewFreshContext().RunDiffFN(sched, opts)
 }
 
-// expectedSquash maps a trigger type to the squash class its transient
-// window must be terminated by.
-func expectedSquash(t gen.TriggerType) uarch.SquashReason {
-	switch t {
-	case gen.TrigMemDisambig:
-		return uarch.SquashMemOrdering
-	case gen.TrigBranchMispred:
-		return uarch.SquashBranchMispredict
-	case gen.TrigJumpMispred:
-		return uarch.SquashJumpMispredict
-	case gen.TrigReturnMispred:
-		return uarch.SquashReturnMispredict
-	default:
+// expectedSquash resolves the squash class a seed's transient window must
+// be terminated by — the scenario family owns this, so nested families can
+// demand a different squash class than their legacy trigger would imply.
+func expectedSquash(s gen.Seed) uarch.SquashReason {
+	fam, err := gen.FamilyOf(s)
+	if err != nil {
+		// Unknown family name: seeds that built a stimulus always resolve,
+		// so this is only reachable through hand-crafted seeds — fall back
+		// to the trigger class's canonical family rather than duplicating
+		// its squash mapping here.
+		if s.Trigger >= 0 && s.Trigger < gen.NumTriggerTypes {
+			return scenario.ByTrigger(s.Trigger).ExpectedSquash()
+		}
 		return uarch.SquashException
 	}
+	return fam.ExpectedSquash()
 }
 
 // WindowTriggered evaluates the paper's trigger criterion during the
@@ -204,7 +206,7 @@ func WindowTriggered(run *SingleRun, st *gen.Stimulus) bool {
 	if !ws.Triggered() {
 		return false
 	}
-	want := expectedSquash(st.Seed.Trigger)
+	want := expectedSquash(st.Seed)
 	needPred := st.Seed.Trigger.IsMispredict()
 	for _, s := range run.Core.Trace.Squashes {
 		if s.Cycle >= since && s.Reason == want && s.AtPC == st.TriggerPC {

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/uarch"
+)
+
+// newFamilies are the extended scenario families this PR introduces; the
+// acceptance bar is that each of them earns at least one coverage point or
+// finding on the injected-bug BOOM target within a bounded budget.
+var newFamilies = []string{"cache-occupancy", "nested-fault-in-branch", "stl-forward-chain"}
+
+func scenarioOpts(families []string, workers, iterations int) Options {
+	opts := DefaultOptions(uarch.KindBOOM)
+	opts.Seed = 7
+	opts.Iterations = iterations
+	opts.Workers = workers
+	opts.MergeEvery = 16
+	opts.Scenarios = families
+	return opts
+}
+
+// TestNewScenarioFamiliesYield proves the three extended families are live
+// end to end: restricted to exactly that set, a short campaign on the
+// injected-bug BOOM core picks each family and each contributes coverage
+// (or findings) within the iteration budget.
+func TestNewScenarioFamiliesYield(t *testing.T) {
+	iterations := 48
+	if testing.Short() {
+		iterations = 24
+	}
+	rep := NewFuzzer(scenarioOpts(newFamilies, 1, iterations)).Run()
+	if len(rep.Scenarios) != len(newFamilies) {
+		t.Fatalf("report has %d scenario rows, want %d: %+v", len(rep.Scenarios), len(newFamilies), rep.Scenarios)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Picks == 0 {
+			t.Errorf("family %q was never picked", sc.Name)
+			continue
+		}
+		if sc.Points == 0 && sc.Findings == 0 {
+			t.Errorf("family %q yielded neither coverage points nor findings in %d picks", sc.Name, sc.Picks)
+		}
+	}
+	// The per-iteration records must attribute every iteration to one of
+	// the enabled families.
+	for _, it := range rep.Iters {
+		ok := false
+		for _, f := range newFamilies {
+			if it.Scenario == f {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("iteration %d ran family %q outside the enabled set", it.Iteration, it.Scenario)
+		}
+	}
+}
+
+// TestScenarioFilterDeterministicAcrossWorkers extends the determinism
+// regression to the adaptive scheduler with a non-default family set:
+// findings, coverage and the per-family statistics must be byte-identical
+// for any worker count.
+func TestScenarioFilterDeterministicAcrossWorkers(t *testing.T) {
+	families := []string{"branch-mispredict", "cache-occupancy", "nested-fault-in-branch"}
+	ref := NewFuzzer(scenarioOpts(families, 1, 48)).Run()
+	for _, workers := range []int{2, 8} {
+		rep := NewFuzzer(scenarioOpts(families, workers, 48)).Run()
+		if !reflect.DeepEqual(fingerprint(ref), fingerprint(rep)) {
+			t.Errorf("Workers=%d: report fingerprint diverges under scenario filter", workers)
+		}
+		if !reflect.DeepEqual(ref.Scenarios, rep.Scenarios) {
+			t.Errorf("Workers=%d: per-family stats diverge: %+v vs %+v", workers, ref.Scenarios, rep.Scenarios)
+		}
+	}
+}
+
+// TestResumeScenarioMismatchFails is the checkpoint-safety regression: a
+// checkpoint written under one -scenarios set must refuse to resume under
+// another, with an error that names the mismatched option — never silently
+// diverge into a different campaign.
+func TestResumeScenarioMismatchFails(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := scenarioOpts([]string{"branch-mispredict", "page-fault"}, 1, 48)
+	opts.OnBarrier = func(b *Barrier) {
+		if b.Done == 16 {
+			cancel()
+		}
+	}
+	rep, state := NewFuzzer(opts).RunContext(ctx)
+	cancel()
+	if rep != nil || state == nil {
+		t.Fatal("campaign did not stop at the barrier")
+	}
+	// JSON round-trip, as the session checkpoint file does.
+	data, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored EngineState
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+
+	mismatch := scenarioOpts([]string{"branch-mispredict", "stl-forward-chain"}, 1, 48)
+	if _, err := NewFuzzerFromState(&restored, mismatch); err == nil {
+		t.Fatal("resume with a different -scenarios set did not fail")
+	} else {
+		if !strings.Contains(err.Error(), "scenarios") {
+			t.Fatalf("mismatch error does not name the scenarios option: %v", err)
+		}
+		if !strings.Contains(err.Error(), "stl-forward-chain") || !strings.Contains(err.Error(), "page-fault") {
+			t.Fatalf("mismatch error does not show both sets: %v", err)
+		}
+	}
+
+	// The equivalent set still resumes, and the scheduler state survives
+	// the round-trip: the resumed engine's next snapshot carries identical
+	// weights.
+	f, err := NewFuzzerFromState(&restored, scenarioOpts([]string{"page-fault", "branch-mispredict"}, 4, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := f.Run()
+	full := NewFuzzer(scenarioOpts([]string{"branch-mispredict", "page-fault"}, 1, 48)).Run()
+	if !reflect.DeepEqual(fingerprint(full), fingerprint(resumed)) {
+		t.Fatal("cancel+resume under a scenario filter is not byte-identical")
+	}
+	if !reflect.DeepEqual(full.Scenarios, resumed.Scenarios) {
+		t.Fatalf("resumed per-family stats diverge: %+v vs %+v", full.Scenarios, resumed.Scenarios)
+	}
+}

@@ -1,19 +1,22 @@
 package core
 
 // SignatureInputs returns the finding's stable identity fields, in a fixed
-// order: kind, attack type, transient-window trigger class, leak-site
-// components (sorted, deduplicated, '+'-joined) and mechanism bug labels
-// (likewise). These are exactly the fields that survive rediscovery of the
-// same underlying bug — a different campaign seed, iteration number or
-// stimulus finds the same leak through the same site with the same
-// witnesses — and exclude everything that does not (Seed, Iteration).
-// internal/triage folds them, together with the target name, into a dedup
-// signature.
+// order: kind, attack type, transient-window trigger class, scenario
+// family, leak-site components (sorted, deduplicated, '+'-joined) and
+// mechanism bug labels (likewise). These are exactly the fields that
+// survive rediscovery of the same underlying bug — a different campaign
+// seed, iteration number or stimulus finds the same leak through the same
+// site with the same witnesses — and exclude everything that does not
+// (Seed, Iteration). The scenario family is identity because two families
+// sharing a legacy window class (e.g. branch-mispredict and the nested
+// fault-in-branch shape) reach distinct leak mechanics. internal/triage
+// folds the inputs, together with the target name, into a dedup signature.
 func (f *Finding) SignatureInputs() []string {
 	return []string{
 		f.Kind.String(),
 		f.AttackType,
 		f.Window.String(),
+		f.ScenarioName(),
 		joinSorted(f.Components),
 		joinSorted(f.BugLabels),
 	}

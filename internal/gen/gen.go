@@ -1,89 +1,54 @@
-// Package gen is DejaVuzz's stimulus generator. It implements the paper's
-// Phase 1 and Phase 2 construction steps on top of swapMem:
+// Package gen is DejaVuzz's stimulus sampler and mutator: a deterministic
+// front-end over the scenario registry (internal/scenario). The registry
+// owns what a transient-window workload *is* — entry setup, trigger/window
+// layout, secret access, encode gadget, derived training, capability flags —
+// while this package owns how campaigns draw from it:
 //
-//   - trigger generation for all eight transient-window types (Step 1.1),
-//   - training derivation: targeted trigger-training packets aligned to the
-//     trigger address with matched control flow (Step 1.1),
-//   - dummy windows for Phase 1, replaced by secret-access and
-//     secret-encoding blocks in Phase 2 (Step 2.1),
-//   - window-training derivation that warms memory state before the trigger
-//     training runs (Step 2.1),
-//   - the DejaVuzz* ablation (random, underived training), and
-//   - encode-block sanitisation used by Phase 3 (Step 3.1).
+//   - seed sampling, uniform (RandomSeed) or through a coverage-adaptive
+//     scenario scheduler (ScheduledSeed),
+//   - structured mutation operators over the seed space — swap scenario,
+//     swap encoder, perturb window, splice training — each guaranteed to
+//     change the seed (no wasted re-roll iterations),
+//   - deterministic per-shard/per-epoch RNG stream derivation, and
+//   - stimulus materialisation: assembling a seed's scenario into swapMem
+//     packets (transient, trigger-training, window-training), including the
+//     DejaVuzz* random-training ablation and Phase 3's encode sanitisation.
 package gen
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 
 	"dejavuzz/internal/isa"
+	"dejavuzz/internal/scenario"
 	"dejavuzz/internal/swapmem"
 	"dejavuzz/internal/uarch"
 )
 
-// TriggerType enumerates the transient-window trigger classes of Table 3.
-type TriggerType int
+// TriggerType re-exports the scenario package's legacy trigger taxonomy;
+// see the migration notes in the README. New code should address scenario
+// families by name.
+type TriggerType = scenario.TriggerType
 
+// The legacy trigger classes, re-exported.
 const (
-	TrigAccessFault TriggerType = iota
-	TrigPageFault
-	TrigMisalign
-	TrigIllegal
-	TrigMemDisambig
-	TrigBranchMispred
-	TrigJumpMispred
-	TrigReturnMispred
+	TrigAccessFault   = scenario.TrigAccessFault
+	TrigPageFault     = scenario.TrigPageFault
+	TrigMisalign      = scenario.TrigMisalign
+	TrigIllegal       = scenario.TrigIllegal
+	TrigMemDisambig   = scenario.TrigMemDisambig
+	TrigBranchMispred = scenario.TrigBranchMispred
+	TrigJumpMispred   = scenario.TrigJumpMispred
+	TrigReturnMispred = scenario.TrigReturnMispred
 
-	NumTriggerTypes
+	NumTriggerTypes = scenario.NumTriggerTypes
 )
 
-var triggerNames = [...]string{
-	"load/store-access-fault",
-	"load/store-page-fault",
-	"load/store-misalign",
-	"illegal-instruction",
-	"memory-disambiguation",
-	"branch-misprediction",
-	"indirect-jump-misprediction",
-	"return-address-misprediction",
-}
-
-func (t TriggerType) String() string {
-	if t >= 0 && int(t) < len(triggerNames) {
-		return triggerNames[t]
-	}
-	return fmt.Sprintf("trigger(%d)", int(t))
-}
-
-// IsException reports whether the trigger is an architectural-exception type
-// (zero training expected).
-func (t TriggerType) IsException() bool {
-	switch t {
-	case TrigAccessFault, TrigPageFault, TrigMisalign, TrigIllegal:
-		return true
-	}
-	return false
-}
-
-// IsMispredict reports whether the trigger is a control-flow misprediction.
-func (t TriggerType) IsMispredict() bool {
-	switch t {
-	case TrigBranchMispred, TrigJumpMispred, TrigReturnMispred:
-		return true
-	}
-	return false
-}
-
-// AllTriggerTypes lists every trigger class.
-func AllTriggerTypes() []TriggerType {
-	out := make([]TriggerType, NumTriggerTypes)
-	for i := range out {
-		out[i] = TriggerType(i)
-	}
-	return out
-}
+// AllTriggerTypes lists every legacy trigger class.
+func AllTriggerTypes() []TriggerType { return scenario.AllTriggerTypes() }
 
 // Variant selects the training-generation strategy.
 type Variant int
@@ -106,7 +71,12 @@ func (v Variant) String() string {
 
 // Seed holds the configuration entropy for one stimulus (the corpus unit).
 type Seed struct {
-	Core    uarch.CoreKind
+	Core uarch.CoreKind
+	// Scenario names the registered scenario family. Empty selects the
+	// canonical family for Trigger (pre-scenario seeds keep replaying).
+	Scenario string `json:",omitempty"`
+	// Trigger is the scenario's legacy trigger class; kept in the seed so
+	// findings, triage and pre-scenario consumers keep a stable taxonomy.
 	Trigger TriggerType
 	Variant Variant
 	Rand    int64
@@ -114,9 +84,50 @@ type Seed struct {
 	TriggerOff   int  // pad-nop count before the trigger instruction
 	WindowLen    int  // dummy-window length in instructions
 	EncodeOps    int  // number of encode gadgets in Phase 2
+	Encoder      int  `json:",omitempty"` // 0 = draw per op, k>0 = pin gadget k-1
 	MaskHigh     bool // mask high address bits in the secret access (MDS probing)
 	SecretFaults bool // Meltdown-type: secret access itself faults
 	StoreFlavor  bool // use a store for fault-type triggers
+}
+
+// params projects the seed's knobs into the scenario build parameters.
+func (s Seed) params() scenario.Params {
+	return scenario.Params{
+		TriggerOff:   s.TriggerOff,
+		WindowLen:    s.WindowLen,
+		EncodeOps:    s.EncodeOps,
+		Encoder:      s.Encoder,
+		MaskHigh:     s.MaskHigh,
+		SecretFaults: s.SecretFaults,
+		StoreFlavor:  s.StoreFlavor,
+	}
+}
+
+// FamilyOf resolves the seed's scenario family: its named family, or the
+// canonical family of its legacy trigger class when unnamed. Hand-crafted
+// seeds (repro JSON) can carry anything, so both paths error instead of
+// panicking.
+func FamilyOf(s Seed) (scenario.Scenario, error) {
+	if s.Scenario == "" {
+		if s.Trigger < 0 || s.Trigger >= NumTriggerTypes {
+			return nil, fmt.Errorf("gen: seed trigger %v has no scenario family", s.Trigger)
+		}
+		return scenario.ByTrigger(s.Trigger), nil
+	}
+	return scenario.Lookup(s.Scenario)
+}
+
+// ScenarioName returns the seed's effective family name (canonical when the
+// seed predates named scenarios; the raw trigger rendering for seeds whose
+// trigger class does not exist).
+func ScenarioName(s Seed) string {
+	if s.Scenario != "" {
+		return s.Scenario
+	}
+	if s.Trigger < 0 || s.Trigger >= NumTriggerTypes {
+		return s.Trigger.String()
+	}
+	return scenario.ByTrigger(s.Trigger).Name()
 }
 
 // Generator produces seeds and stimuli deterministically from its RNG.
@@ -127,9 +138,17 @@ type Seed struct {
 type Generator struct {
 	rng *rand.Rand
 
-	// lines is the assembly-materialisation scratch reused across packet
-	// builds (valid only within one build call).
-	lines []string
+	// scenarios is the enabled family set mutation's swap-scenario operator
+	// draws from (sorted; defaults to every registered family).
+	scenarios []string
+	// lines/setup/body are the assembly-materialisation scratch buffers
+	// reused across packet builds (valid only within one build call);
+	// trainSpecs is the recycled training-spec slice the family hooks
+	// append into.
+	lines      []string
+	setup      []string
+	body       []string
+	trainSpecs []scenario.Training
 	// brng is the per-stimulus derivation RNG, reseeded from Seed.Rand for
 	// every build (so builds stay pure functions of the seed).
 	brng *rand.Rand
@@ -147,10 +166,30 @@ func New(seed int64) *Generator {
 }
 
 // Reseed returns the generator's RNG to the state New(seed) produces,
-// keeping the generator's scratch buffers. Equivalent to replacing the
-// generator with a fresh one — without the allocation.
+// keeping the generator's scratch buffers and scenario set. Equivalent to
+// replacing the generator with a fresh one — without the allocation.
 func (g *Generator) Reseed(seed int64) {
 	g.rng.Seed(seed)
+}
+
+// SetScenarios restricts the family set the swap-scenario mutation operator
+// draws from (the campaign's -scenarios filter). Names are copied and
+// sorted; an empty set restores the default (every registered family).
+func (g *Generator) SetScenarios(names []string) {
+	if len(names) == 0 {
+		g.scenarios = nil
+		return
+	}
+	g.scenarios = append(g.scenarios[:0], names...)
+	sort.Strings(g.scenarios)
+}
+
+// enabledScenarios returns the mutation family set.
+func (g *Generator) enabledScenarios() []string {
+	if g.scenarios != nil {
+		return g.scenarios
+	}
+	return scenario.Names()
 }
 
 // buildRand returns the generator's reusable derivation RNG seeded to the
@@ -195,47 +234,154 @@ func NewEpochShard(campaignSeed int64, shard, epoch int) *Generator {
 	return New(EpochShardSeed(campaignSeed, shard, epoch))
 }
 
-// RandomSeed draws a fresh seed for a core.
-func (g *Generator) RandomSeed(core uarch.CoreKind) Seed {
-	return Seed{
-		Core:         core,
-		Trigger:      TriggerType(g.rng.Intn(int(NumTriggerTypes))),
-		Variant:      VariantDerived,
-		Rand:         g.rng.Int63(),
-		TriggerOff:   60 + g.rng.Intn(50),
-		WindowLen:    4 + g.rng.Intn(6),
-		EncodeOps:    1 + g.rng.Intn(3),
-		MaskHigh:     g.rng.Intn(4) == 0,
-		SecretFaults: g.rng.Intn(2) == 0,
-		StoreFlavor:  g.rng.Intn(4) == 0,
-	}
+// drawKnobs fills the seed's non-identity entropy from the generator's RNG.
+func (g *Generator) drawKnobs(s *Seed) {
+	s.Rand = g.rng.Int63()
+	s.TriggerOff = 60 + g.rng.Intn(50)
+	s.WindowLen = 4 + g.rng.Intn(6)
+	s.EncodeOps = 1 + g.rng.Intn(3)
+	s.Encoder = g.rng.Intn(scenario.NumEncoders() + 1)
+	s.MaskHigh = g.rng.Intn(4) == 0
+	s.SecretFaults = g.rng.Intn(2) == 0
+	s.StoreFlavor = g.rng.Intn(4) == 0
 }
 
-// SeedFor draws a seed with a fixed trigger type.
+// RandomSeed draws a fresh seed for a core, uniform over the canonical
+// (legacy) trigger classes — the pre-scheduler sampling behaviour.
+func (g *Generator) RandomSeed(core uarch.CoreKind) Seed {
+	t := TriggerType(g.rng.Intn(int(NumTriggerTypes)))
+	s := Seed{
+		Core:     core,
+		Scenario: scenario.ByTrigger(t).Name(),
+		Trigger:  t,
+		Variant:  VariantDerived,
+	}
+	g.drawKnobs(&s)
+	return s
+}
+
+// SeedScenario draws a fresh seed for a named scenario family.
+func (g *Generator) SeedScenario(core uarch.CoreKind, fam string) (Seed, error) {
+	sc, err := scenario.Lookup(fam)
+	if err != nil {
+		return Seed{}, err
+	}
+	s := Seed{
+		Core:     core,
+		Scenario: sc.Name(),
+		Trigger:  sc.Legacy(),
+		Variant:  VariantDerived,
+	}
+	g.drawKnobs(&s)
+	return s, nil
+}
+
+// ScheduledSeed draws a fresh seed with the family chosen by the campaign's
+// coverage-adaptive scheduler, consuming the generator's own RNG stream so
+// shard determinism is preserved.
+func (g *Generator) ScheduledSeed(core uarch.CoreKind, sch *scenario.Scheduler) Seed {
+	s, err := g.SeedScenario(core, sch.Pick(g.rng))
+	if err != nil {
+		// Scheduler families are validated at campaign construction.
+		panic(fmt.Sprintf("gen: scheduled seed: %v", err))
+	}
+	return s
+}
+
+// SeedFor draws a seed with a fixed legacy trigger type (its canonical
+// scenario family).
 func (g *Generator) SeedFor(core uarch.CoreKind, t TriggerType, v Variant) Seed {
-	s := g.RandomSeed(core)
-	s.Trigger = t
+	s, _ := g.SeedScenario(core, scenario.ByTrigger(t).Name())
 	s.Variant = v
 	return s
 }
 
-// Mutate perturbs a seed's window/encode configuration (Phase 2 feedback).
+// Mutation operator count (see Mutate).
+const numMutationOps = 7
+
+// Mutate applies one structured mutation operator to a seed — swap scenario,
+// swap encoder, perturb window (length, alignment, gadget count, access
+// flags) or splice training — and guarantees the result differs from the
+// input: every operator re-rolls its target field onto a different value,
+// so no feedback iteration is ever wasted replaying the seed it started
+// from. Operators that would not change the built stimulus for the seed's
+// family (swapping scenarios in a single-family campaign, swapping the
+// shared-table encoder under a family with a dedicated encode block) are
+// redirected to a window perturbation instead of drawing a no-op.
+//
+// Core and Variant are always preserved; the derivation entropy (Rand) is
+// preserved by the structural operators so their effect is isolated, and
+// re-rolled only by the splice-training operator.
 func (g *Generator) Mutate(s Seed) Seed {
 	n := s
-	n.Rand = g.rng.Int63()
-	switch g.rng.Intn(6) {
-	case 0:
-		n.EncodeOps = 1 + g.rng.Intn(4)
-	case 1:
-		n.MaskHigh = !n.MaskHigh
-	case 2:
-		n.SecretFaults = !n.SecretFaults
-	case 3:
-		n.WindowLen = 4 + g.rng.Intn(8)
-	case 4:
-		n.Trigger = TriggerType(g.rng.Intn(int(NumTriggerTypes)))
-	case 5:
-		n.StoreFlavor = !n.StoreFlavor
+	op := g.rng.Intn(numMutationOps)
+	fams := g.enabledScenarios()
+	if op == 0 && len(fams) < 2 {
+		op = 2 // single-family campaigns cannot swap scenarios
+	}
+	if op == 1 {
+		if fam, err := FamilyOf(s); err != nil || fam.Caps().OwnEncoder {
+			op = 2 // the family never reads Params.Encoder
+		}
+	}
+	switch op {
+	case 0: // swap scenario: a different family from the enabled set
+		cur := 0
+		name := ScenarioName(s)
+		for i, f := range fams {
+			if f == name {
+				cur = i
+				break
+			}
+		}
+		next := fams[(cur+1+g.rng.Intn(len(fams)-1))%len(fams)]
+		sc, err := scenario.Lookup(next)
+		if err != nil {
+			panic(fmt.Sprintf("gen: mutate: %v", err))
+		}
+		n.Scenario = sc.Name()
+		n.Trigger = sc.Legacy()
+	case 1: // swap encoder: a different gadget selector
+		span := scenario.NumEncoders() + 1
+		n.Encoder = (s.Encoder + 1 + g.rng.Intn(span-1)) % span
+	case 2: // perturb window length within [4, 12)
+		n.WindowLen = 4 + (s.WindowLen-4+1+g.rng.Intn(7))%8
+	case 3: // perturb trigger alignment within [60, 110)
+		n.TriggerOff = 60 + (s.TriggerOff-60+1+g.rng.Intn(49))%50
+	case 4: // perturb encode-gadget count within [1, 4] (mutation reaches
+		// one more stacked gadget than a fresh draw, as before the registry)
+		n.EncodeOps = 1 + (s.EncodeOps-1+1+g.rng.Intn(3))%4
+	case 5: // flip one access flag the family actually reads: SecretFaults
+		// is always live (it gates the schedule's permission update);
+		// MaskHigh only matters under the shared access block; StoreFlavor
+		// only for store-flavoured trigger/fault layouts. Dead flags are
+		// excluded so the flip is never a stimulus no-op.
+		var caps scenario.Capabilities
+		if fam, err := FamilyOf(s); err == nil {
+			caps = fam.Caps()
+		} else {
+			caps.OwnAccess = true // unknown family: only SecretFaults is safe
+		}
+		candidates := 1
+		if !caps.OwnAccess {
+			candidates++
+		}
+		if caps.StoreFlavored {
+			candidates++
+		}
+		pick := g.rng.Intn(candidates)
+		switch {
+		case pick == 0:
+			n.SecretFaults = !n.SecretFaults
+		case pick == 1 && !caps.OwnAccess:
+			n.MaskHigh = !n.MaskHigh
+		default:
+			n.StoreFlavor = !n.StoreFlavor
+		}
+	case 6: // splice training: fresh derivation entropy, structure kept
+		for n.Rand == s.Rand {
+			n.Rand = g.rng.Int63()
+		}
 	}
 	return n
 }
@@ -280,24 +426,41 @@ func (g *Generator) BuildStimulus(seed Seed) (*Stimulus, error) {
 // whole campaign; the result is only valid until the next build into the
 // same buffer.
 func (g *Generator) BuildStimulusInto(st *Stimulus, seed Seed) error {
+	fam, err := FamilyOf(seed)
+	if err != nil {
+		return err // FamilyOf errors carry their own prefix
+	}
 	rng := g.buildRand(seed.Rand)
 	trains := st.TriggerTrains[:0]
 	*st = Stimulus{Seed: seed, TriggerPC: triggerAddr(seed), Transient: st.Transient}
 
 	body := dummyWindow(seed.WindowLen)
-	if err := g.buildTransient(st, body); err != nil {
+	if err := g.buildTransient(st, fam, body); err != nil {
 		return err
 	}
 	if seed.Variant == VariantRandom {
 		st.TriggerTrains = g.randomTrainings(trains, st, rng, 6)
 	} else {
-		st.TriggerTrains = g.deriveTrainings(trains, st, rng)
+		st.TriggerTrains = g.deriveTrainings(trains, st, fam, rng)
 	}
 	return nil
 }
 
-// dummyWindow is Phase 1's placeholder payload.
+// nopLines backs dummyWindow: callers only ever read the slice, so one
+// shared table serves every build.
+var nopLines = func() []string {
+	out := make([]string, 128)
+	for i := range out {
+		out[i] = "nop"
+	}
+	return out
+}()
+
+// dummyWindow is Phase 1's placeholder payload (read-only).
 func dummyWindow(n int) []string {
+	if n <= len(nopLines) {
+		return nopLines[:n]
+	}
 	out := make([]string, n)
 	for i := range out {
 		out[i] = "nop"
@@ -305,124 +468,40 @@ func dummyWindow(n int) []string {
 	return out
 }
 
-// buildTransient assembles the transient packet for the seed's trigger type
-// with the given window body, filling in TriggerPC/WindowLo/WindowHi. The
-// assembly lines are materialised into the generator's scratch buffer and
-// the packet struct is reused when the stimulus already carries one.
-func (g *Generator) buildTransient(st *Stimulus, windowBody []string) error {
+// buildTransient assembles the transient packet for the seed's scenario
+// family with the given window body, filling in TriggerPC/WindowLo/WindowHi.
+// The assembly lines are materialised into the generator's scratch buffer
+// and the packet struct is reused when the stimulus already carries one.
+func (g *Generator) buildTransient(st *Stimulus, fam scenario.Scenario, windowBody []string) error {
 	s := st.Seed
+	p := s.params()
 	T := st.TriggerPC
 	lines := g.lines[:0]
 	defer func() { g.lines = lines }()
-	emit := func(l ...string) { lines = append(lines, l...) }
 	train := 0 // transient packets count no training instructions
 
-	// --- entry setup ---
-	switch s.Trigger {
-	case TrigAccessFault:
-		emit(fmt.Sprintf("li t6, %#x", swapmem.GuardAccBase+0x40))
-	case TrigPageFault:
-		emit(fmt.Sprintf("li t6, %#x", swapmem.GuardPageBase+0x40))
-	case TrigMisalign:
-		emit(fmt.Sprintf("li t6, %#x", swapmem.DataBase+0x101))
-	case TrigIllegal:
-		// no setup
-	case TrigMemDisambig:
-		ptr := swapmem.DataBase + 0x300
-		safe := swapmem.DataBase + 0x400
-		emit(
-			fmt.Sprintf("li a2, %#x", ptr),
-			fmt.Sprintf("li a3, %#x", swapmem.SecretAddr),
-			"sd a3, 0(a2)", // pointer slot <- &secret
-			fmt.Sprintf("li a4, %#x", safe),
-			// Slow recomputation of the pointer address via division.
-			fmt.Sprintf("li t3, %#x", ptr*9),
-			"li t4, 3",
-			"div t3, t3, t4",
-			"div t3, t3, t4", // t3 = ptr, ready ~32 cycles later
-		)
-	case TrigBranchMispred:
-		emit(
-			"li a0, 36",
-			"li a1, 3",
-			"div a0, a0, a1",
-			"div a0, a0, a1", // a0 = 4, slowly; a1 = 3 -> branch not taken
-		)
-	case TrigJumpMispred, TrigReturnMispred:
-		// a0 = exit address (T+4), computed via two divisions so the actual
-		// target resolves long after the prediction redirected fetch.
-		emit(
-			fmt.Sprintf("li a0, %d", (T+4)*9),
-			"li a1, 3",
-			"div a0, a0, a1",
-			"div a0, a0, a1",
-		)
-		if s.Trigger == TrigReturnMispred {
-			emit("mv ra, a0")
-		}
-	}
+	// --- entry setup (materialised into the setup scratch) ---
+	setup := fam.Setup(g.setup[:0], p, T)
+	g.setup = setup
+	lines = append(lines, setup...)
 
 	// --- padding, then jump to the trigger ---
-	setupWords, err := countWords(lines)
+	setupWords, err := countWords(setup)
 	if err != nil {
 		return err
 	}
-	emit("j trig")
+	lines = append(lines, "j trig")
 	pad := s.TriggerOff - setupWords - 1
 	if pad < 0 {
 		return fmt.Errorf("gen: trigger offset %d too small for %d setup words", s.TriggerOff, setupWords)
 	}
-	for i := 0; i < pad; i++ {
-		emit("nop")
-	}
+	lines = append(lines, dummyWindow(pad)...)
 
-	// --- trigger and window layout ---
-	winLen := len(windowBody) + 1 // + terminator ecall
-	emit("trig:")
-	switch s.Trigger {
-	case TrigAccessFault, TrigPageFault, TrigMisalign:
-		if s.StoreFlavor {
-			emit("sd t6, 0(t6)")
-		} else {
-			emit("ld t6, 0(t6)")
-		}
-		st.WindowLo = T + 4
-		emit(windowBody...)
-		emit("ecall")
-	case TrigIllegal:
-		emit(".illegal")
-		st.WindowLo = T + 4
-		emit(windowBody...)
-		emit("ecall")
-	case TrigMemDisambig:
-		emit("sd a4, 0(t3)") // slow-address store overwrites the pointer
-		st.WindowLo = T + 4
-		emit("ld t1, 0(a2)") // speculative load of the (stale) pointer
-		emit(windowBody...)
-		emit("ecall")
-	case TrigBranchMispred:
-		// Trained taken -> window at target; actually not taken -> exit.
-		emit("beq a0, a1, win")
-		emit("ecall") // exit at T+4
-		emit("win:")
-		st.WindowLo = T + 8
-		emit(windowBody...)
-		emit("ecall")
-	case TrigJumpMispred:
-		emit("jalr x0, 0(a0)") // actual: exit at T+4
-		emit("ecall")
-		emit("win:")
-		st.WindowLo = T + 8
-		emit(windowBody...)
-		emit("ecall")
-	case TrigReturnMispred:
-		emit("ret") // predicted from RAS -> win; actual -> exit
-		emit("ecall")
-		emit("win:")
-		st.WindowLo = T + 8
-		emit(windowBody...)
-		emit("ecall")
-	}
+	// --- trigger and window layout (appended straight into the scratch) ---
+	lines = append(lines, "trig:")
+	var winOff, winLen int
+	lines, winOff, winLen = fam.Window(lines, p, windowBody)
+	st.WindowLo = T + 4*uint64(winOff)
 	st.WindowHi = st.WindowLo + 4*uint64(winLen)
 
 	img, err := isa.Asm(swapmem.SwapBase, strings.Join(lines, "\n"))
@@ -522,12 +601,12 @@ func (g *Generator) trainingPacket(name string, st *Stimulus, setup, body []stri
 	}, nil
 }
 
-// deriveTrainings implements the training derivation strategy: targeted
-// training whose instruction aligns with the trigger PC and whose control
-// flow matches the transient window, plus decoy candidates that the
-// training-reduction step is expected to discard. Packets are appended to
-// dst (typically a recycled slice).
-func (g *Generator) deriveTrainings(dst []*swapmem.Packet, st *Stimulus, rng *rand.Rand) []*swapmem.Packet {
+// deriveTrainings implements the training derivation strategy: the scenario
+// family's targeted training — whose instruction aligns with the trigger PC
+// and whose control flow matches the transient window — plus decoy
+// candidates that the training-reduction step is expected to discard.
+// Packets are appended to dst (typically a recycled slice).
+func (g *Generator) deriveTrainings(dst []*swapmem.Packet, st *Stimulus, fam scenario.Scenario, rng *rand.Rand) []*swapmem.Packet {
 	out := dst
 	add := func(p *swapmem.Packet, err error) {
 		if err != nil {
@@ -535,41 +614,10 @@ func (g *Generator) deriveTrainings(dst []*swapmem.Packet, st *Stimulus, rng *ra
 		}
 		out = append(out, p)
 	}
-	win := st.WindowLo
-
-	switch st.Seed.Trigger {
-	case TrigBranchMispred:
-		// Loop a taken branch at the trigger PC three times; its target is
-		// the window address (control-flow matching).
-		add(g.cachedTrainingPacket("train-branch", st,
-			[]string{"li a3, 3"},
-			[]string{
-				"beq zero, zero, taken",
-				"ecall",
-				"taken:", // = win (T+8)
-				"addi a3, a3, -1",
-				"bnez a3, trainpc",
-				"ecall",
-			}))
-	case TrigJumpMispred:
-		// Train the indirect-target predictor with the window address,
-		// repeated to satisfy target-confidence thresholds.
-		add(g.cachedTrainingPacket("train-jalr", st,
-			[]string{fmt.Sprintf("li a2, %#x", win), "li a3, 3"},
-			[]string{
-				"jalr x0, 0(a2)", // jumps to win
-				"ecall",
-				"landing:", // = win
-				"addi a3, a3, -1",
-				"bnez a3, trainpc",
-				"ecall",
-			}))
-	case TrigReturnMispred:
-		// A call whose return address equals the window start: the auipc of
-		// `call` sits at the trigger PC, its jalr at T+4, so ra = T+8 = win.
-		add(g.cachedTrainingPacket("train-ret", st,
-			nil,
-			[]string{fmt.Sprintf("call %#x", swapmem.SwapDoneAddr)}))
+	specs := fam.Trainings(g.trainSpecs[:0], st.Seed.params(), st.WindowLo)
+	g.trainSpecs = specs
+	for _, tr := range specs {
+		add(g.cachedTrainingPacket(tr.Name, st, tr.Setup, tr.Body))
 	}
 
 	// Decoy candidates: plausible but untargeted; training reduction should
@@ -615,10 +663,10 @@ func (g *Generator) randomTrainings(dst []*swapmem.Packet, st *Stimulus, rng *ra
 			setup = []string{fmt.Sprintf("li a2, %#x", tgt)}
 			body = []string{"jalr x0, 0(a2)", "ecall"}
 		case 2: // random call (pushes a random return address)
-			body = []string{fmt.Sprintf("call %#x", swapmem.SwapDoneAddr)}
+			body = []string{fmt.Sprintf("call %#x", uint64(swapmem.SwapDoneAddr))}
 		case 3:
 			body = []string{fmt.Sprintf("ld t0, %d(t1)", 8*rng.Intn(16)), "ecall"}
-			setup = []string{fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x200)}
+			setup = []string{fmt.Sprintf("li t1, %#x", uint64(swapmem.DataBase+0x200))}
 		default: // plain ALU
 			ops := []string{"add t0, t1, t2", "sub t3, t4, t5", "mul t0, t0, t1",
 				"xor t2, t2, t3", "andi t4, t5, 0x3f", "sll t1, t1, t0"}
@@ -645,13 +693,24 @@ func (g *Generator) CompleteWindow(st *Stimulus) (*Stimulus, error) {
 // CompleteWindowInto is CompleteWindow materialised into a caller-provided
 // Stimulus (which must be distinct from st).
 func (g *Generator) CompleteWindowInto(dst, st *Stimulus) error {
+	fam, err := FamilyOf(st.Seed)
+	if err != nil {
+		return err // FamilyOf errors carry their own prefix
+	}
+	p := st.Seed.params()
 	rng := g.buildRand(st.Seed.Rand ^ 0x5eed)
-	access := accessBlock(st.Seed)
-	encode := encodeBlock(st.Seed, rng)
-
-	body := append(append([]string{}, access...), encode...)
+	// The encode block is retained on the stimulus (Phase 3 sanitisation
+	// reads it), so it builds into the destination's own recycled buffer;
+	// the access+encode window body is per-build scratch.
+	encode, ok := fam.Encode(dst.EncodeLines[:0], p, rng)
+	if !ok {
+		encode = scenario.SharedEncode(encode, p, rng)
+	}
+	body := fam.Access(g.body[:0], p)
+	body = append(body, encode...)
+	g.body = body
 	*dst = Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC, Transient: dst.Transient}
-	if err := g.buildTransient(dst, body); err != nil {
+	if err := g.buildTransient(dst, fam, body); err != nil {
 		return err
 	}
 	dst.TriggerTrains = st.TriggerTrains
@@ -659,9 +718,9 @@ func (g *Generator) CompleteWindowInto(dst, st *Stimulus) error {
 	dst.Completed = true
 
 	// Window training: warm the secret's cache/TLB state before training.
-	// Memory-disambiguation windows additionally warm the pointer slot so
+	// Disambiguation-class windows additionally warm the pointer slot so
 	// the speculative loads complete inside the (short) ordering window.
-	wt, err := windowTrainPacket(st.Seed.Trigger == TrigMemDisambig)
+	wt, err := windowTrainPacket(fam.Caps().WarmPointer)
 	if err == nil {
 		dst.WindowTrains = []*swapmem.Packet{wt}
 	}
@@ -681,10 +740,15 @@ func (g *Generator) Sanitized(st *Stimulus) (*Stimulus, error) {
 // SanitizedInto is Sanitized materialised into a caller-provided Stimulus
 // (which must be distinct from st).
 func (g *Generator) SanitizedInto(dst, st *Stimulus) error {
-	access := accessBlock(st.Seed)
-	body := append(append([]string{}, access...), dummyWindow(len(st.EncodeLines))...)
+	fam, err := FamilyOf(st.Seed)
+	if err != nil {
+		return err // FamilyOf errors carry their own prefix
+	}
+	body := fam.Access(g.body[:0], st.Seed.params())
+	body = append(body, dummyWindow(len(st.EncodeLines))...)
+	g.body = body
 	*dst = Stimulus{Seed: st.Seed, TriggerPC: st.TriggerPC, Transient: dst.Transient}
-	if err := g.buildTransient(dst, body); err != nil {
+	if err := g.buildTransient(dst, fam, body); err != nil {
 		return err
 	}
 	dst.TriggerTrains = st.TriggerTrains
@@ -693,86 +757,14 @@ func (g *Generator) SanitizedInto(dst, st *Stimulus) error {
 	return nil
 }
 
-// accessBlock emits the secret access: load the secret into s0, optionally
-// through a masked (illegal, MDS-style) address.
+// accessBlock returns the seed's secret-access block (the scenario family's
+// Access hook); kept as the package-level seam tests exercise.
 func accessBlock(s Seed) []string {
-	if s.Trigger == TrigMemDisambig {
-		// The stale pointer in t1 (set by the trigger block) points at the
-		// secret; dereference it.
-		return []string{"ld s0, 0(t1)"}
+	fam, err := FamilyOf(s)
+	if err != nil {
+		return nil
 	}
-	if s.MaskHigh {
-		return []string{
-			fmt.Sprintf("li t0, %#x", uint64(1)<<63|uint64(swapmem.SecretAddr)),
-			"ld s0, 0(t0)",
-		}
-	}
-	return []string{
-		fmt.Sprintf("li t0, %#x", uint64(swapmem.SecretAddr)),
-		"ld s0, 0(t0)",
-	}
-}
-
-// encodeBlock draws EncodeOps secret-encoding gadgets.
-func encodeBlock(s Seed, rng *rand.Rand) []string {
-	gadgets := [][]string{
-		{ // dcache encode: classic secret-indexed load
-			"andi s1, s0, 0x3f",
-			"slli s1, s1, 6",
-			fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x1000),
-			"add t1, t1, s1",
-			"ld t2, 0(t1)",
-		},
-		{ // arithmetic propagation
-			"add t3, s0, s0",
-			"xor t4, t3, s0",
-			"mul t5, t4, t3",
-		},
-		{ // secret-dependent branch (control-flow encode)
-			"andi s1, s0, 1",
-			"beq s1, zero, 8",
-			"add t3, t3, t3",
-		},
-		{ // FPU port contention (Spectre-Rewind shape)
-			"fmv.d.x fa0, s0",
-			"fdiv.d fa1, fa0, fa0",
-		},
-		{ // store encode
-			fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x2000),
-			"andi s1, s0, 0x3f",
-			"slli s1, s1, 3",
-			"add t1, t1, s1",
-			"sd s0, 0(t1)",
-		},
-		{ // load write-back port pressure (Spectre-Reload shape)
-			fmt.Sprintf("li t1, %#x", swapmem.DataBase+0x80),
-			"ld t2, 0(t1)",
-			"ld t3, 8(t1)",
-			"ld t4, 16(t1)",
-			"ld t5, 24(t1)",
-		},
-		{ // secret-dependent call: corrupts RAS/BTB (Phantom shapes)
-			"auipc t4, 0",
-			"andi s1, s0, 1",
-			"slli s1, s1, 3",
-			"add t4, t4, s1",
-			"jalr ra, 28(t4)",
-			"nop",
-			"nop",
-		},
-		{ // secret-dependent far jump: icache fill (Spectre-Refetch shape)
-			fmt.Sprintf("li t4, %#x", swapmem.SharedBase+0x400),
-			"andi s1, s0, 1",
-			"slli s1, s1, 6",
-			"add t4, t4, s1",
-			"jr t4",
-		},
-	}
-	var out []string
-	for i := 0; i < s.EncodeOps; i++ {
-		out = append(out, gadgets[rng.Intn(len(gadgets))]...)
-	}
-	return out
+	return fam.Access(nil, s.params())
 }
 
 // windowTrainPacket warms the secret into the data cache and TLBs, and

@@ -164,16 +164,119 @@ func TestScheduleComposition(t *testing.T) {
 	}
 }
 
-func TestMutatePreservesCore(t *testing.T) {
+// TestMutateAlwaysChanges is the regression test for the wasted-iteration
+// bug: re-rolling a field with rng.Intn used to be able to return the input
+// seed unchanged. Every structured mutation operator must now change its
+// target field, so no feedback iteration ever replays its own input.
+func TestMutateAlwaysChanges(t *testing.T) {
 	g := New(11)
-	s := g.RandomSeed(uarch.KindXiangShan)
-	for i := 0; i < 50; i++ {
-		m := g.Mutate(s)
-		if m.Core != s.Core {
-			t.Fatal("mutation changed the core")
+	for trial := 0; trial < 64; trial++ {
+		s := g.RandomSeed(uarch.KindXiangShan)
+		s.Variant = VariantRandom
+		for i := 0; i < 64; i++ {
+			m := g.Mutate(s)
+			if m.Core != s.Core {
+				t.Fatal("mutation changed the core")
+			}
+			if m.Variant != s.Variant {
+				t.Fatal("mutation changed the variant")
+			}
+			if m == s {
+				t.Fatalf("mutation returned the input seed unchanged: %+v", s)
+			}
 		}
-		if m.Rand == s.Rand {
-			t.Fatal("mutation kept the same entropy")
+	}
+	// Families with a dedicated encode block never read Seed.Encoder, so a
+	// mutant differing only in Encoder would rebuild a byte-identical
+	// stimulus — the operator must redirect for them.
+	s, err := g.SeedScenario(uarch.KindBOOM, "cache-occupancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		m := g.Mutate(s)
+		e := m
+		e.Encoder = s.Encoder
+		if e == s {
+			t.Fatalf("own-encoder family mutated only Encoder (a stimulus no-op): %+v -> %+v", s, m)
+		}
+	}
+	// Dead flags are excluded per family: StoreFlavor for families whose
+	// layout never reads it, MaskHigh under a dedicated access block.
+	s, err = g.SeedScenario(uarch.KindBOOM, "branch-mispredict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		m := g.Mutate(s)
+		e := m
+		e.StoreFlavor = s.StoreFlavor
+		if e == s {
+			t.Fatalf("branch family mutated only StoreFlavor (a stimulus no-op)")
+		}
+	}
+	s, err = g.SeedScenario(uarch.KindBOOM, "mem-disambig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		m := g.Mutate(s)
+		e := m
+		e.MaskHigh, e.StoreFlavor = s.MaskHigh, s.StoreFlavor
+		if e == s {
+			t.Fatalf("own-access family mutated only MaskHigh/StoreFlavor (a stimulus no-op)")
+		}
+	}
+}
+
+// TestBuildRejectsMalformedSeeds: hand-crafted seeds (repro JSON) with an
+// out-of-range trigger or unknown family must error, never panic.
+func TestBuildRejectsMalformedSeeds(t *testing.T) {
+	g := New(1)
+	for _, s := range []Seed{
+		{Core: uarch.KindBOOM, Trigger: 99, TriggerOff: 70, WindowLen: 5, EncodeOps: 1},
+		{Core: uarch.KindBOOM, Trigger: -1, TriggerOff: 70, WindowLen: 5, EncodeOps: 1},
+		{Core: uarch.KindBOOM, Scenario: "no-such-family", TriggerOff: 70, WindowLen: 5, EncodeOps: 1},
+	} {
+		if _, err := g.BuildStimulus(s); err == nil {
+			t.Errorf("malformed seed %+v built a stimulus", s)
+		}
+		if name := ScenarioName(s); name == "" {
+			t.Errorf("malformed seed %+v has empty display name", s)
+		}
+	}
+}
+
+// TestMutateRespectsScenarioFilter pins the swap-scenario operator to the
+// generator's enabled family set (the campaign's -scenarios filter).
+func TestMutateRespectsScenarioFilter(t *testing.T) {
+	g := New(13)
+	enabled := []string{"branch-mispredict", "cache-occupancy"}
+	g.SetScenarios(enabled)
+	s, err := g.SeedScenario(uarch.KindBOOM, "branch-mispredict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, n := range enabled {
+		allowed[n] = true
+	}
+	for i := 0; i < 256; i++ {
+		s = g.Mutate(s)
+		if !allowed[s.Scenario] {
+			t.Fatalf("mutation left the enabled scenario set: %q", s.Scenario)
+		}
+	}
+	// A single-family filter must never attempt (and cannot perform) a swap.
+	g.SetScenarios([]string{"page-fault"})
+	s, err = g.SeedScenario(uarch.KindBOOM, "page-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		s = g.Mutate(s)
+		if s.Scenario != "page-fault" {
+			t.Fatalf("single-family mutation swapped scenario to %q", s.Scenario)
 		}
 	}
 }

@@ -277,13 +277,18 @@ func (p *shardPipeline) RunIteration(iter int, seed gen.Seed, sink core.CovSink)
 	out.Sims = 2
 	out.Measured = true
 
-	// Triggered: the planned trigger instruction architecturally trapped
-	// (exception-class windows). Misprediction windows have no architectural
-	// signature, so they report untriggered here — honest for an ISA model.
-	for _, t := range a.traps {
-		if t.EPC == p.st1.TriggerPC {
-			out.Triggered = true
-			break
+	// Triggered: the planned trigger instruction architecturally trapped.
+	// The scenario family declares its squash class, so the check consults
+	// capabilities instead of guessing: only exception-class windows have an
+	// architectural trigger signature; misprediction and memory-ordering
+	// windows have none, so their families honestly report untriggered on
+	// an ISA model.
+	if fam, err := gen.FamilyOf(seed); err == nil && fam.ExpectedSquash() == uarch.SquashException {
+		for _, t := range a.traps {
+			if t.EPC == p.st1.TriggerPC {
+				out.Triggered = true
+				break
+			}
 		}
 	}
 
@@ -296,6 +301,7 @@ func (p *shardPipeline) RunIteration(iter int, seed gen.Seed, sink core.CovSink)
 			Kind:       core.FindingTiming,
 			AttackType: "ArchLeak",
 			Window:     seed.Trigger,
+			Scenario:   gen.ScenarioName(seed),
 			Components: []string{"isasim"},
 			Seed:       seed,
 		}

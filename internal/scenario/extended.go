@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+// The extended families: transient-window shapes the flat TriggerType enum
+// could not express. Each composes proven trigger mechanics with a new
+// window or encode structure, so they trigger as reliably as their legacy
+// cousins while reaching state the canonical eight never touch.
+
+// occupancyGadgets pre-renders the cache-occupancy encode blocks, one per
+// gadget slot (EncodeOps selects how many stack). Each gadget owns a 1KB
+// slice of the data region; the secret's slot-th bit pair (bits 2i..2i+1)
+// selects which 256B quarter fills, so the signal is the *set* of resident
+// lines rather than one secret-indexed line, and each stacked gadget
+// encodes two fresh secret bits. Every address is a layout constant.
+var occupancyGadgets = func() [4][]string {
+	var out [4][]string
+	for i := range out {
+		base := uint64(swapmem.DataBase + 0x3000 + 0x400*i)
+		out[i] = []string{
+			fmt.Sprintf("srli s1, s0, %d", 2*i),
+			"andi s1, s1, 0x3",
+			"slli s1, s1, 8",
+			fmt.Sprintf("li t1, %#x", base),
+			"add t1, t1, s1",
+			"ld t2, 0(t1)",
+			"ld t3, 64(t1)",
+			"ld t4, 128(t1)",
+			"ld t5, 192(t1)",
+		}
+	}
+	return out
+}()
+
+// stlAccessLines launders the stale pointer through an in-window
+// store-to-load forwarding pair before the secret dereference.
+var stlAccessLines = []string{
+	"sd t1, 0(a5)", // spill the stale pointer...
+	"ld t2, 0(a5)", // ...and forward it straight back
+	"ld s0, 0(t2)", // dereference the forwarded copy
+}
+
+func init() {
+	// nested-fault-in-branch: a faulting access *inside* a mispredicted
+	// branch window (SpecFuzz-style nesting). The branch at the trigger PC
+	// squashes before the transient fault can ever be raised, so the fault
+	// is purely speculative — LSU/TLB fault paths are exercised under a
+	// control-flow squash instead of an exception squash, a combination no
+	// flat trigger reaches.
+	nestedGuard := fmt.Sprintf("li t6, %#x", uint64(swapmem.GuardAccBase+0x80))
+	Register(&family{
+		name:      "nested-fault-in-branch",
+		desc:      "transiently faulting access nested inside a mispredicted-branch window",
+		legacy:    TrigBranchMispred,
+		trigClass: "branch misprediction",
+		winClass:  "control-flow squash over a nested fault",
+		caps:      Capabilities{InvalidCode: true, StoreFlavored: true},
+		squash:    uarch.SquashBranchMispredict,
+		setup: func(dst []string, _ Params, _ uint64) []string {
+			// Branch-condition setup plus the guard address for the nested
+			// fault (architecturally dead: the window never commits).
+			dst = append(dst, slowDivLines...)
+			return append(dst, nestedGuard)
+		},
+		window: func(dst []string, p Params, body []string) ([]string, int, int) {
+			fault := "ld t5, 0(t6)"
+			if p.StoreFlavor {
+				fault = "sd t5, 0(t6)"
+			}
+			dst = append(dst,
+				"beq a0, a1, win",
+				"ecall",
+				"win:",
+				fault, // nested: faults only transiently
+			)
+			dst = append(dst, body...)
+			return append(dst, "ecall"), 2, len(body) + 2
+		},
+		trainings: branchTrainings,
+	})
+
+	// stl-forward-chain: a store-to-load-forwarding chain appended to the
+	// memory-disambiguation window. The stale pointer obtained through the
+	// mis-disambiguated load is laundered through an in-window store/load
+	// forwarding pair before the secret dereference, so the leak flows
+	// through the store queue's forwarding path — a channel the plain
+	// mem-disambig family never exercises.
+	stlSlot := fmt.Sprintf("li a5, %#x", uint64(swapmem.DataBase+0x500))
+	Register(&family{
+		name:      "stl-forward-chain",
+		desc:      "disambiguation window laundering the stale pointer through store-to-load forwarding",
+		legacy:    TrigMemDisambig,
+		trigClass: "memory disambiguation",
+		winClass:  "memory-ordering squash over a forwarding chain",
+		caps:      Capabilities{WarmPointer: true, OwnAccess: true},
+		squash:    uarch.SquashMemOrdering,
+		setup: func(dst []string, _ Params, _ uint64) []string {
+			// The disambiguation setup plus a forwarding slot the window
+			// bounces the stale pointer through.
+			dst = append(dst, disambigSetupLines...)
+			return append(dst, stlSlot)
+		},
+		window: disambigWindow,
+		access: func(dst []string, _ Params) []string {
+			return append(dst, stlAccessLines...)
+		},
+	})
+
+	// cache-occupancy: a page-fault window whose encoder is a Shesha-style
+	// multi-gadget cache-occupancy pattern (see occupancyGadgets).
+	Register(&family{
+		name:      "cache-occupancy",
+		desc:      "exception window with a multi-gadget cache-occupancy encoder (Shesha-style)",
+		legacy:    TrigPageFault,
+		trigClass: "load/store page fault",
+		winClass:  "exception over an occupancy encoder",
+		caps:      Capabilities{OwnEncoder: true, StoreFlavored: true},
+		squash:    uarch.SquashException,
+		setup:     staticSetup(fmt.Sprintf("li t6, %#x", uint64(swapmem.GuardPageBase+0x40))),
+		window:    faultWindow,
+		encode: func(dst []string, p Params, _ *rand.Rand) ([]string, bool) {
+			for i := 0; i < p.EncodeOps && i < len(occupancyGadgets); i++ {
+				dst = append(dst, occupancyGadgets[i]...)
+			}
+			return dst, true
+		},
+	})
+}

@@ -1,0 +1,301 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+// family is the shared Scenario implementation: a description record plus
+// build hooks. Nil hooks fall back to the common behaviour (no setup, no
+// trainings, DefaultAccess, shared encode table), so most families only
+// supply what makes them distinct. Hooks are append-style (see Scenario);
+// fixed line sequences live in package-level tables so a build allocates
+// nothing beyond what its parameters force (address formatting for
+// PC-dependent setups).
+type family struct {
+	name      string
+	desc      string
+	legacy    TriggerType
+	trigClass string
+	winClass  string
+	caps      Capabilities
+	squash    uarch.SquashReason
+
+	setup     func(dst []string, p Params, T uint64) []string
+	window    func(dst []string, p Params, body []string) (lines []string, winOff, winLen int)
+	access    func(dst []string, p Params) []string
+	encode    func(dst []string, p Params, rng *rand.Rand) ([]string, bool)
+	trainings func(dst []Training, p Params, winLo uint64) []Training
+}
+
+func (f *family) Name() string                       { return f.name }
+func (f *family) Description() string                { return f.desc }
+func (f *family) Legacy() TriggerType                { return f.legacy }
+func (f *family) Classes() (string, string)          { return f.trigClass, f.winClass }
+func (f *family) Caps() Capabilities                 { return f.caps }
+func (f *family) ExpectedSquash() uarch.SquashReason { return f.squash }
+
+func (f *family) Setup(dst []string, p Params, T uint64) []string {
+	if f.setup == nil {
+		return dst
+	}
+	return f.setup(dst, p, T)
+}
+
+func (f *family) Window(dst []string, p Params, body []string) ([]string, int, int) {
+	return f.window(dst, p, body)
+}
+
+func (f *family) Access(dst []string, p Params) []string {
+	if f.access == nil {
+		return DefaultAccess(dst, p)
+	}
+	return f.access(dst, p)
+}
+
+func (f *family) Encode(dst []string, p Params, rng *rand.Rand) ([]string, bool) {
+	if f.encode == nil {
+		return dst, false
+	}
+	return f.encode(dst, p, rng)
+}
+
+func (f *family) Trainings(dst []Training, p Params, winLo uint64) []Training {
+	if f.trainings == nil {
+		return dst
+	}
+	return f.trainings(dst, p, winLo)
+}
+
+// staticSetup adapts a fixed line sequence into a setup hook.
+func staticSetup(lines ...string) func([]string, Params, uint64) []string {
+	return func(dst []string, _ Params, _ uint64) []string {
+		return append(dst, lines...)
+	}
+}
+
+// faultWindow is the exception-class layout: the faulting access at the
+// trigger PC, the window immediately after it, an ecall terminator.
+func faultWindow(dst []string, p Params, body []string) ([]string, int, int) {
+	op := "ld t6, 0(t6)"
+	if p.StoreFlavor {
+		op = "sd t6, 0(t6)"
+	}
+	dst = append(dst, op)
+	dst = append(dst, body...)
+	return append(dst, "ecall"), 1, len(body) + 1
+}
+
+// mispredictWindow is the control-flow layout: the redirecting instruction
+// at the trigger PC, the architectural exit at T+4, the window at T+8.
+func mispredictWindow(dst []string, trig string, body []string) ([]string, int, int) {
+	dst = append(dst, trig, "ecall", "win:")
+	dst = append(dst, body...)
+	return append(dst, "ecall"), 2, len(body) + 1
+}
+
+// slowDivLines is the branch-condition setup: a0 = 4 computed through two
+// divisions so the branch at the trigger resolves long after prediction.
+var slowDivLines = []string{
+	"li a0, 36",
+	"li a1, 3",
+	"div a0, a0, a1",
+	"div a0, a0, a1", // a0 = 4, slowly; a1 = 3 -> branch not taken
+}
+
+// slowTargetSetup computes a0 = T+4 (the architectural exit) through two
+// divisions, so the actual target resolves long after fetch redirected.
+func slowTargetSetup(dst []string, _ Params, T uint64) []string {
+	return append(dst,
+		fmt.Sprintf("li a0, %d", (T+4)*9),
+		"li a1, 3",
+		"div a0, a0, a1",
+		"div a0, a0, a1",
+	)
+}
+
+// disambigSetupLines plants the pointer slot and starts the slow
+// recomputation of its address, so the trigger store's address resolves
+// after the younger speculative load already forwarded the stale pointer.
+// Every address is a layout constant, so the sequence renders once.
+var disambigSetupLines = func() []string {
+	ptr := uint64(swapmem.DataBase + 0x300)
+	safe := uint64(swapmem.DataBase + 0x400)
+	return []string{
+		fmt.Sprintf("li a2, %#x", ptr),
+		fmt.Sprintf("li a3, %#x", uint64(swapmem.SecretAddr)),
+		"sd a3, 0(a2)", // pointer slot <- &secret
+		fmt.Sprintf("li a4, %#x", safe),
+		// Slow recomputation of the pointer address via division.
+		fmt.Sprintf("li t3, %#x", ptr*9),
+		"li t4, 3",
+		"div t3, t3, t4",
+		"div t3, t3, t4", // t3 = ptr, ready ~32 cycles later
+	}
+}()
+
+func disambigWindow(dst []string, _ Params, body []string) ([]string, int, int) {
+	dst = append(dst,
+		"sd a4, 0(t3)", // slow-address store overwrites the pointer
+		"ld t1, 0(a2)", // speculative load of the (stale) pointer
+	)
+	dst = append(dst, body...)
+	return append(dst, "ecall"), 1, len(body) + 1
+}
+
+// branchTrainBody loops a taken branch at the trigger PC three times; its
+// target is the window address (control-flow matching).
+var branchTrainBody = []string{
+	"beq zero, zero, taken",
+	"ecall",
+	"taken:", // = win (T+8)
+	"addi a3, a3, -1",
+	"bnez a3, trainpc",
+	"ecall",
+}
+
+var branchTrainSetup = []string{"li a3, 3"}
+
+func branchTrainings(dst []Training, _ Params, _ uint64) []Training {
+	return append(dst, Training{Name: "train-branch", Setup: branchTrainSetup, Body: branchTrainBody})
+}
+
+// jumpTrainBody trains the indirect-target predictor with the window
+// address (in a2), repeated to satisfy target-confidence thresholds.
+var jumpTrainBody = []string{
+	"jalr x0, 0(a2)", // jumps to win
+	"ecall",
+	"landing:", // = win
+	"addi a3, a3, -1",
+	"bnez a3, trainpc",
+	"ecall",
+}
+
+func jumpTrainings(dst []Training, _ Params, winLo uint64) []Training {
+	return append(dst, Training{
+		Name:  "train-jalr",
+		Setup: []string{fmt.Sprintf("li a2, %#x", winLo), "li a3, 3"},
+		Body:  jumpTrainBody,
+	})
+}
+
+// retTrainBody is a call whose return address equals the window start: the
+// auipc of `call` sits at the trigger PC, its jalr at T+4, so ra = T+8 =
+// win.
+var retTrainBody = []string{fmt.Sprintf("call %#x", uint64(swapmem.SwapDoneAddr))}
+
+func retTrainings(dst []Training, _ Params, _ uint64) []Training {
+	return append(dst, Training{Name: "train-ret", Body: retTrainBody})
+}
+
+func init() {
+	registerCanonical(&family{
+		name:      "access-fault",
+		desc:      "load/store to a permission-guarded region opens an exception window",
+		legacy:    TrigAccessFault,
+		trigClass: "load/store access fault",
+		winClass:  "exception",
+		caps:      Capabilities{InvalidCode: true, StoreFlavored: true},
+		squash:    uarch.SquashException,
+		setup:     staticSetup(fmt.Sprintf("li t6, %#x", uint64(swapmem.GuardAccBase+0x40))),
+		window:    faultWindow,
+	})
+	registerCanonical(&family{
+		name:      "page-fault",
+		desc:      "load/store to an unmapped page opens an exception window",
+		legacy:    TrigPageFault,
+		trigClass: "load/store page fault",
+		winClass:  "exception",
+		caps:      Capabilities{StoreFlavored: true},
+		squash:    uarch.SquashException,
+		setup:     staticSetup(fmt.Sprintf("li t6, %#x", uint64(swapmem.GuardPageBase+0x40))),
+		window:    faultWindow,
+	})
+	registerCanonical(&family{
+		name:      "misalign",
+		desc:      "misaligned load/store opens an exception window",
+		legacy:    TrigMisalign,
+		trigClass: "load/store misalign",
+		winClass:  "exception",
+		caps:      Capabilities{InvalidCode: true, StoreFlavored: true},
+		squash:    uarch.SquashException,
+		setup:     staticSetup(fmt.Sprintf("li t6, %#x", uint64(swapmem.DataBase+0x101))),
+		window:    faultWindow,
+	})
+	registerCanonical(&family{
+		name:      "illegal-inst",
+		desc:      "undecodable instruction opens an exception window",
+		legacy:    TrigIllegal,
+		trigClass: "illegal instruction",
+		winClass:  "exception",
+		caps:      Capabilities{InvalidCode: true},
+		squash:    uarch.SquashException,
+		window: func(dst []string, _ Params, body []string) ([]string, int, int) {
+			dst = append(dst, ".illegal")
+			dst = append(dst, body...)
+			return append(dst, "ecall"), 1, len(body) + 1
+		},
+	})
+	registerCanonical(&family{
+		name:      "mem-disambig",
+		desc:      "younger load forwards a stale pointer past a slow-address store (memory-ordering window)",
+		legacy:    TrigMemDisambig,
+		trigClass: "memory disambiguation",
+		winClass:  "memory-ordering squash",
+		caps:      Capabilities{WarmPointer: true, OwnAccess: true},
+		squash:    uarch.SquashMemOrdering,
+		setup:     staticSetup(disambigSetupLines...),
+		window:    disambigWindow,
+		access: func(dst []string, _ Params) []string {
+			// The stale pointer in t1 (set by the trigger block) points at
+			// the secret; dereference it.
+			return append(dst, "ld s0, 0(t1)")
+		},
+	})
+	registerCanonical(&family{
+		name:      "branch-mispredict",
+		desc:      "trained-taken conditional branch with a slow not-taken condition",
+		legacy:    TrigBranchMispred,
+		trigClass: "branch misprediction",
+		winClass:  "control-flow squash",
+		squash:    uarch.SquashBranchMispredict,
+		setup:     staticSetup(slowDivLines...),
+		window: func(dst []string, _ Params, body []string) ([]string, int, int) {
+			// Trained taken -> window at target; actually not taken -> exit.
+			return mispredictWindow(dst, "beq a0, a1, win", body)
+		},
+		trainings: branchTrainings,
+	})
+	registerCanonical(&family{
+		name:      "jump-mispredict",
+		desc:      "indirect jump trained onto the window with a slow actual target",
+		legacy:    TrigJumpMispred,
+		trigClass: "indirect-jump misprediction",
+		winClass:  "control-flow squash",
+		squash:    uarch.SquashJumpMispredict,
+		setup:     slowTargetSetup,
+		window: func(dst []string, _ Params, body []string) ([]string, int, int) {
+			return mispredictWindow(dst, "jalr x0, 0(a0)", body) // actual: exit at T+4
+		},
+		trainings: jumpTrainings,
+	})
+	registerCanonical(&family{
+		name:      "return-mispredict",
+		desc:      "return predicted from a poisoned RAS while the actual address resolves slowly",
+		legacy:    TrigReturnMispred,
+		trigClass: "return-address misprediction",
+		winClass:  "control-flow squash",
+		caps:      Capabilities{BackwardJumps: true},
+		squash:    uarch.SquashReturnMispredict,
+		setup: func(dst []string, p Params, T uint64) []string {
+			return append(slowTargetSetup(dst, p, T), "mv ra, a0")
+		},
+		window: func(dst []string, _ Params, body []string) ([]string, int, int) {
+			return mispredictWindow(dst, "ret", body) // predicted from RAS -> win; actual -> exit
+		},
+		trainings: retTrainings,
+	})
+}

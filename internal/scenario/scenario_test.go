@@ -1,0 +1,188 @@
+package scenario_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dejavuzz/internal/gen"
+	"dejavuzz/internal/scenario"
+	"dejavuzz/internal/swapmem"
+	"dejavuzz/internal/uarch"
+)
+
+// The test lives in scenario_test (external) so it can drive the registry
+// through internal/gen's builder exactly as campaigns do.
+
+func TestRegistryOrderIndependence(t *testing.T) {
+	names := scenario.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	if len(names) < 11 {
+		t.Fatalf("expected at least 11 registered families (8 canonical + 3 extended), got %d: %v", len(names), names)
+	}
+	// All() must enumerate in exactly the same (sorted) order, and repeated
+	// enumerations must agree — the registry exposes no registration order.
+	var fromAll []string
+	for _, s := range scenario.All() {
+		fromAll = append(fromAll, s.Name())
+	}
+	if !reflect.DeepEqual(names, fromAll) {
+		t.Fatalf("All() order %v != Names() order %v", fromAll, names)
+	}
+	if again := scenario.Names(); !reflect.DeepEqual(names, again) {
+		t.Fatalf("Names() unstable across calls: %v vs %v", names, again)
+	}
+}
+
+func TestRegistryDuplicateRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	// page-fault is registered at init; a second registration must panic.
+	fam, err := scenario.Lookup("page-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario.Register(fam)
+}
+
+func TestCanonicalCoversAllTriggers(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tr := range scenario.AllTriggerTypes() {
+		fam := scenario.ByTrigger(tr)
+		if fam.Legacy() != tr {
+			t.Errorf("canonical family %q for %v reports legacy %v", fam.Name(), tr, fam.Legacy())
+		}
+		if seen[fam.Name()] {
+			t.Errorf("family %q canonical for two triggers", fam.Name())
+		}
+		seen[fam.Name()] = true
+		// The display-name migration mapping must round-trip.
+		byWin, ok := scenario.ByWindowName(tr.String())
+		if !ok || byWin.Name() != fam.Name() {
+			t.Errorf("ByWindowName(%q) = %v, want %q", tr.String(), byWin, fam.Name())
+		}
+	}
+}
+
+// TestEveryFamilyBuildsQuick is the testing/quick property: for every
+// registered family and random generator entropy, the full stimulus
+// construction pipeline (phase-1 build, window completion, sanitisation)
+// assembles without error for both core configurations, the images fit the
+// swappable region, and the window sits behind the trigger.
+func TestEveryFamilyBuildsQuick(t *testing.T) {
+	for _, fam := range scenario.All() {
+		fam := fam
+		t.Run(fam.Name(), func(t *testing.T) {
+			prop := func(entropy int64, variantBit bool) bool {
+				g := gen.New(entropy)
+				for _, kind := range []uarch.CoreKind{uarch.KindBOOM, uarch.KindXiangShan} {
+					seed, err := g.SeedScenario(kind, fam.Name())
+					if err != nil {
+						t.Logf("%v/%s: seed: %v", kind, fam.Name(), err)
+						return false
+					}
+					if variantBit {
+						seed.Variant = gen.VariantRandom
+					}
+					st, err := g.BuildStimulus(seed)
+					if err != nil {
+						t.Logf("%v/%s: build: %v", kind, fam.Name(), err)
+						return false
+					}
+					if st.Transient == nil || st.Transient.Image.Size() > swapmem.SwapSize {
+						t.Logf("%v/%s: transient image missing or oversized", kind, fam.Name())
+						return false
+					}
+					if st.WindowLo <= st.TriggerPC || st.WindowHi <= st.WindowLo {
+						t.Logf("%v/%s: window [%#x,%#x) vs trigger %#x",
+							kind, fam.Name(), st.WindowLo, st.WindowHi, st.TriggerPC)
+						return false
+					}
+					cst, err := g.CompleteWindow(st)
+					if err != nil {
+						t.Logf("%v/%s: complete: %v", kind, fam.Name(), err)
+						return false
+					}
+					if !cst.Completed || len(cst.EncodeLines) == 0 {
+						t.Logf("%v/%s: window not completed", kind, fam.Name())
+						return false
+					}
+					if cst.Transient.Image.Size() > swapmem.SwapSize {
+						t.Logf("%v/%s: completed image oversized", kind, fam.Name())
+						return false
+					}
+					if _, err := g.Sanitized(cst); err != nil {
+						t.Logf("%v/%s: sanitise: %v", kind, fam.Name(), err)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSchedulerPickDistributionFollowsYield(t *testing.T) {
+	fams := []string{"a", "b", "c"}
+	sch := scenario.NewScheduler(fams)
+	// Feed several barriers where only "b" yields.
+	for i := 0; i < 6; i++ {
+		sch.Update(map[string]scenario.Yield{
+			"a": {Picks: 10},
+			"b": {Picks: 10, Points: 40, Findings: 1},
+			"c": {Picks: 10},
+		})
+	}
+	if wb, wa := sch.WeightOf("b"), sch.WeightOf("a"); wb <= wa {
+		t.Fatalf("yielding family not upweighted: b=%v a=%v", wb, wa)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[sch.Pick(rng)]++
+	}
+	if counts["b"] <= counts["a"] || counts["b"] <= counts["c"] {
+		t.Fatalf("pick distribution ignores weights: %v", counts)
+	}
+	// The exploration floor keeps the dry families alive.
+	if counts["a"] == 0 || counts["c"] == 0 {
+		t.Fatalf("exploration floor starved a family: %v", counts)
+	}
+}
+
+func TestSchedulerWeightsRoundTrip(t *testing.T) {
+	fams := []string{"x", "y"}
+	sch := scenario.NewScheduler(fams)
+	sch.Update(map[string]scenario.Yield{"x": {Picks: 4, Points: 12}})
+	restored, err := scenario.NewSchedulerFromWeights(fams, sch.Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sch.Weights(), restored.Weights()) {
+		t.Fatalf("weights did not round-trip: %v vs %v", sch.Weights(), restored.Weights())
+	}
+	// A different family set must be refused (the checkpoint-safety seam).
+	if _, err := scenario.NewSchedulerFromWeights([]string{"x"}, sch.Weights()); err == nil {
+		t.Fatal("weight restore accepted a mismatched family set")
+	}
+}
+
+func TestCatalogTableListsEveryFamily(t *testing.T) {
+	table := scenario.CatalogTable()
+	for _, name := range scenario.Names() {
+		if !strings.Contains(table, "`"+name+"`") {
+			t.Errorf("catalog table missing family %q:\n%s", name, table)
+		}
+	}
+}

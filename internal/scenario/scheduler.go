@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Scheduler weight-update constants. The update is an exponential moving
+// average of per-pick yield with an exploration floor, so productive
+// families are sampled more while no family ever starves.
+const (
+	// schedAlpha is the EMA retention: how much of the previous weight
+	// survives one barrier update.
+	schedAlpha = 0.5
+	// findingBonus converts one finding into equivalent coverage points for
+	// the yield signal (findings are the scarcer, higher-value event).
+	findingBonus = 16.0
+	// minWeight is the exploration floor every family's weight is clamped
+	// to, as a fraction of the uniform weight 1.0.
+	minWeight = 0.25
+	// maxWeight bounds runaway winners so a hot family cannot crowd the
+	// rest out within a few barriers.
+	maxWeight = 16.0
+)
+
+// Yield is one family's observed outcome over an epoch: how often it was
+// picked and what it returned.
+type Yield struct {
+	Picks    int
+	Points   int
+	Findings int
+}
+
+// Weight is one (family, sampling weight) pair — the serialisation unit of
+// the scheduler state (engine checkpoints embed it).
+type Weight struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// Scheduler is the coverage-adaptive scenario sampler one campaign shares
+// across its shards. During an epoch it is read-only (Pick draws from a
+// frozen weight vector using the caller's RNG, so shard streams stay
+// deterministic); at every merge barrier the engine calls Update once with
+// the epoch's merged per-family yield, in fixed order, so the weight
+// trajectory is a pure function of the campaign's deterministic history —
+// worker-count independence and cancel+resume byte-identity carry over.
+type Scheduler struct {
+	names   []string // sorted
+	weights []float64
+}
+
+// NewScheduler returns a uniform scheduler over the given families.
+// Names are sorted internally; registration or option order never matters.
+func NewScheduler(families []string) *Scheduler {
+	names := append([]string(nil), families...)
+	sort.Strings(names)
+	w := make([]float64, len(names))
+	for i := range w {
+		w[i] = 1.0
+	}
+	return &Scheduler{names: names, weights: w}
+}
+
+// NewSchedulerFromWeights restores a scheduler from checkpointed weights.
+// The weight set must cover exactly the given families.
+func NewSchedulerFromWeights(families []string, ws []Weight) (*Scheduler, error) {
+	s := NewScheduler(families)
+	if len(ws) != len(s.names) {
+		return nil, fmt.Errorf("scenario: checkpoint has %d scheduler weights, campaign has %d families", len(ws), len(s.names))
+	}
+	byName := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		byName[w.Name] = w.Weight
+	}
+	for i, n := range s.names {
+		w, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("scenario: checkpoint carries no scheduler weight for family %q", n)
+		}
+		s.weights[i] = w
+	}
+	return s, nil
+}
+
+// Names returns the scheduler's families, sorted.
+func (s *Scheduler) Names() []string { return append([]string(nil), s.names...) }
+
+// Pick draws one family name, weight-proportionally, using the caller's
+// RNG (each campaign shard passes its own deterministic stream).
+func (s *Scheduler) Pick(rng *rand.Rand) string {
+	if len(s.names) == 1 {
+		return s.names[0]
+	}
+	total := 0.0
+	for _, w := range s.weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range s.weights {
+		r -= w
+		if r < 0 {
+			return s.names[i]
+		}
+	}
+	return s.names[len(s.names)-1]
+}
+
+// WeightOf returns the current sampling weight of one family (0 if the
+// family is not scheduled).
+func (s *Scheduler) WeightOf(name string) float64 {
+	for i, n := range s.names {
+		if n == name {
+			return s.weights[i]
+		}
+	}
+	return 0
+}
+
+// Update folds one epoch's merged per-family yield into the weights: an
+// EMA toward each family's points-plus-bonused-findings per pick, clamped
+// to [minWeight, maxWeight]. Families not picked this epoch decay toward
+// the floor, so early losers get re-tried and late bloomers recover.
+// It must only be called at merge barriers (no Pick concurrently).
+func (s *Scheduler) Update(yield map[string]Yield) {
+	for i, n := range s.names {
+		y := yield[n]
+		rate := 0.0
+		if y.Picks > 0 {
+			rate = (float64(y.Points) + findingBonus*float64(y.Findings)) / float64(y.Picks)
+		}
+		w := schedAlpha*s.weights[i] + (1-schedAlpha)*rate
+		if w < minWeight {
+			w = minWeight
+		}
+		if w > maxWeight {
+			w = maxWeight
+		}
+		s.weights[i] = w
+	}
+}
+
+// Weights exports the scheduler state, sorted by family name (the engine
+// checkpoint form).
+func (s *Scheduler) Weights() []Weight {
+	out := make([]Weight, len(s.names))
+	for i, n := range s.names {
+		out[i] = Weight{Name: n, Weight: s.weights[i]}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import "fmt"
+
+// TriggerType enumerates the transient-window trigger classes of Table 3.
+// It predates the scenario registry: every registered scenario family maps
+// onto one of these classes (Scenario.Legacy) so findings, experiments and
+// the SpecDoctor baseline keep a stable taxonomy, while the family name is
+// the finer-grained identity new workloads register under.
+type TriggerType int
+
+const (
+	TrigAccessFault TriggerType = iota
+	TrigPageFault
+	TrigMisalign
+	TrigIllegal
+	TrigMemDisambig
+	TrigBranchMispred
+	TrigJumpMispred
+	TrigReturnMispred
+
+	NumTriggerTypes
+)
+
+var triggerNames = [...]string{
+	"load/store-access-fault",
+	"load/store-page-fault",
+	"load/store-misalign",
+	"illegal-instruction",
+	"memory-disambiguation",
+	"branch-misprediction",
+	"indirect-jump-misprediction",
+	"return-address-misprediction",
+}
+
+func (t TriggerType) String() string {
+	if t >= 0 && int(t) < len(triggerNames) {
+		return triggerNames[t]
+	}
+	return fmt.Sprintf("trigger(%d)", int(t))
+}
+
+// IsException reports whether the trigger is an architectural-exception type
+// (zero training expected).
+func (t TriggerType) IsException() bool {
+	switch t {
+	case TrigAccessFault, TrigPageFault, TrigMisalign, TrigIllegal:
+		return true
+	}
+	return false
+}
+
+// IsMispredict reports whether the trigger is a control-flow misprediction.
+func (t TriggerType) IsMispredict() bool {
+	switch t {
+	case TrigBranchMispred, TrigJumpMispred, TrigReturnMispred:
+		return true
+	}
+	return false
+}
+
+// AllTriggerTypes lists every trigger class.
+func AllTriggerTypes() []TriggerType {
+	out := make([]TriggerType, NumTriggerTypes)
+	for i := range out {
+		out[i] = TriggerType(i)
+	}
+	return out
+}

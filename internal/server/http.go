@@ -22,7 +22,8 @@ import (
 //	POST /campaigns/{id}/pause     checkpoint at the next barrier and park
 //	POST /campaigns/{id}/resume    re-queue a paused campaign
 //	POST /campaigns/{id}/cancel    terminally stop
-//	GET  /findings[?target=t]      aggregated triage view (deduped bugs)
+//	GET  /findings[?target=t][&scenario=s]  aggregated triage view (deduped bugs)
+//	GET  /scenarios                scenario-family catalog
 //	GET  /healthz                  liveness + campaign counts
 //	GET  /metrics                  Prometheus-style text metrics
 func (s *Server) Handler() http.Handler {
@@ -36,6 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns/{id}/resume", s.handleResume)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /findings", s.handleFindings)
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -146,24 +148,28 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // wireEvent is the streamed form of one session event (or the initial
 // status snapshot every stream opens with).
 type wireEvent struct {
-	Kind     string            `json:"kind"`
-	Done     int               `json:"done"`
-	Total    int               `json:"total"`
-	Coverage int               `json:"coverage"`
-	Finding  *dejavuzz.Finding `json:"finding,omitempty"`
-	Path     string            `json:"path,omitempty"`
-	Error    string            `json:"error,omitempty"`
-	State    State             `json:"state,omitempty"` // status snapshots only
+	Kind     string `json:"kind"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Coverage int    `json:"coverage"`
+	// Scenarios carries the per-family campaign statistics on epoch frames:
+	// picks, coverage yield, findings and the adaptive sampling weight.
+	Scenarios []dejavuzz.ScenarioStat `json:"scenarios,omitempty"`
+	Finding   *dejavuzz.Finding       `json:"finding,omitempty"`
+	Path      string                  `json:"path,omitempty"`
+	Error     string                  `json:"error,omitempty"`
+	State     State                   `json:"state,omitempty"` // status snapshots only
 }
 
 func toWireEvent(ev dejavuzz.Event) wireEvent {
 	we := wireEvent{
-		Kind:     ev.Kind.String(),
-		Done:     ev.Done,
-		Total:    ev.Total,
-		Coverage: ev.Coverage,
-		Finding:  ev.Finding,
-		Path:     ev.Path,
+		Kind:      ev.Kind.String(),
+		Done:      ev.Done,
+		Total:     ev.Total,
+		Coverage:  ev.Coverage,
+		Scenarios: ev.Scenarios,
+		Finding:   ev.Finding,
+		Path:      ev.Path,
 	}
 	if ev.Err != nil {
 		we.Error = ev.Err.Error()
@@ -242,11 +248,20 @@ type findingsResponse struct {
 }
 
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
-	bugs, raw := s.Findings(r.URL.Query().Get("target"))
+	q := r.URL.Query()
+	bugs, raw := s.Findings(q.Get("target"), q.Get("scenario"))
 	if bugs == nil {
 		bugs = []triage.Bug{}
 	}
 	writeJSON(w, http.StatusOK, findingsResponse{RawFindings: raw, BugCount: len(bugs), Bugs: bugs})
+}
+
+// handleScenarios serves the scenario-family catalog: every registered
+// family with its Table-3 classes, capability flags and supporting targets.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Scenarios []dejavuzz.ScenarioInfo `json:"scenarios"`
+	}{dejavuzz.ScenarioCatalog()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

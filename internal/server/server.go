@@ -648,15 +648,16 @@ func (s *Server) Report(id string) (*dejavuzz.Report, error) {
 }
 
 // Findings returns the aggregated triage view, optionally filtered to one
-// target: the deduplicated bug clusters plus the raw-finding total.
-func (s *Server) Findings(target string) (bugs []triage.Bug, raw int) {
+// target and/or one scenario family: the deduplicated bug clusters plus the
+// raw-finding total.
+func (s *Server) Findings(target, scenario string) (bugs []triage.Bug, raw int) {
 	raw, _ = s.store.Stats()
 	all := s.store.Bugs()
-	if target == "" {
+	if target == "" && scenario == "" {
 		return all, raw
 	}
 	for _, b := range all {
-		if b.Target == target {
+		if (target == "" || b.Target == target) && (scenario == "" || b.Scenario == scenario) {
 			bugs = append(bugs, b)
 		}
 	}

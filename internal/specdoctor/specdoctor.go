@@ -27,6 +27,7 @@ import (
 
 	"dejavuzz/internal/gen"
 	"dejavuzz/internal/isa"
+	"dejavuzz/internal/scenario"
 	"dejavuzz/internal/swapmem"
 	"dejavuzz/internal/uarch"
 )
@@ -76,24 +77,34 @@ func New(opts Options) *Fuzzer {
 	return &Fuzzer{opts: opts, cfg: uarch.ConfigFor(opts.Core), rng: rand.New(rand.NewSource(opts.Seed))}
 }
 
-// SupportedTriggers lists the window types SpecDoctor's generator reaches.
+// SupportedTriggers lists the window types SpecDoctor's generator reaches,
+// derived from the scenario registry's capability flags instead of a
+// hardcoded list: a canonical family is reachable iff it needs no swapMem
+// training isolation (SpecDoctor's programs are linear), contains no
+// backward jumps in its window (discarded by its generator) and emits only
+// valid accesses and legal instructions. With the shipped families this
+// resolves to page-fault, memory-disambiguation, branch and indirect-jump
+// windows — exactly the documented Table 3 support set — and stays correct
+// as new families register.
 func (f *Fuzzer) SupportedTriggers() []gen.TriggerType {
-	return []gen.TriggerType{
-		gen.TrigPageFault,
-		gen.TrigMemDisambig,
-		gen.TrigBranchMispred,
-		gen.TrigJumpMispred,
+	var out []gen.TriggerType
+	for _, t := range gen.AllTriggerTypes() {
+		if supportsScenario(scenario.ByTrigger(t)) {
+			out = append(out, t)
+		}
 	}
+	return out
+}
+
+// supportsScenario is the capability filter behind SupportedTriggers.
+func supportsScenario(s scenario.Scenario) bool {
+	c := s.Caps()
+	return !c.NeedsSwapMem && !c.BackwardJumps && !c.InvalidCode
 }
 
 // Supports reports generator reachability for a trigger type.
 func (f *Fuzzer) Supports(t gen.TriggerType) bool {
-	for _, s := range f.SupportedTriggers() {
-		if s == t {
-			return true
-		}
-	}
-	return false
+	return supportsScenario(scenario.ByTrigger(t))
 }
 
 // randomFiller emits one random (valid, forward-only) instruction line.

@@ -1,0 +1,131 @@
+package triage
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+)
+
+// v1StoreJSON builds a pre-scenario (version 1) findings.json: signatures
+// lack the scenario segment and bugs carry no scenario field — the exact
+// bytes a PR-3/PR-4 server left behind.
+func v1StoreJSON(t *testing.T) []byte {
+	t.Helper()
+	example := map[string]any{
+		"Kind":       int(core.FindingEncoded),
+		"AttackType": "Spectre",
+		"Window":     int(gen.TrigBranchMispred),
+		"Components": []string{"dcache"},
+		"Seed":       map[string]any{"Rand": 111},
+		"Iteration":  5,
+	}
+	v1 := map[string]any{
+		"version":      1,
+		"raw_findings": 2,
+		"bugs": []map[string]any{{
+			"signature":   "boom|encoded-leak|Spectre|branch-misprediction|dcache|",
+			"target":      "boom",
+			"kind":        "encoded-leak",
+			"attack_type": "Spectre",
+			"window":      gen.TrigBranchMispred.String(),
+			"components":  []string{"dcache"},
+			"count":       2,
+			"campaigns":   []string{"c1"},
+			"seeds":       []int64{1},
+			"example":     example,
+			"occurrences": []string{"c1#5", "c1#9"},
+		}},
+	}
+	data, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestOpenMigratesV1Store is the migration shim's regression: a
+// pre-scenario findings.json loads, its clusters gain the canonical family
+// of their window class, their signatures are rewritten into the v2 shape,
+// and new rediscoveries of the same bug keep collapsing into the migrated
+// cluster instead of opening a duplicate.
+func TestOpenMigratesV1Store(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "findings.json")
+	if err := os.WriteFile(path, v1StoreJSON(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("v1 store did not load: %v", err)
+	}
+	raw, bugs := s.Stats()
+	if raw != 2 || bugs != 1 {
+		t.Fatalf("migrated store has raw=%d bugs=%d, want 2/1", raw, bugs)
+	}
+	b := s.Bugs()[0]
+	if b.Scenario != "branch-mispredict" {
+		t.Fatalf("migrated cluster scenario = %q, want canonical branch-mispredict", b.Scenario)
+	}
+	if !strings.Contains(string(b.Signature), "|branch-mispredict|") {
+		t.Fatalf("migrated signature lacks the scenario segment: %s", b.Signature)
+	}
+	if b.Example.ScenarioName() != "branch-mispredict" {
+		t.Fatalf("migrated example scenario = %q", b.Example.ScenarioName())
+	}
+
+	// A scenario-aware rediscovery of the same bug must land in the
+	// migrated cluster (same signature), not open a new one.
+	re := finding(42, core.FindingEncoded, "Spectre", gen.TrigBranchMispred, []string{"dcache"}, nil, 777)
+	re.Scenario = "branch-mispredict"
+	newOcc, newBugs, err := s.Add("c2", "boom", 2, re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newBugs != 0 || newOcc != 1 {
+		t.Fatalf("rediscovery opened %d new bugs (%d occurrences); want dedup into migrated cluster", newBugs, newOcc)
+	}
+	raw, bugs = s.Stats()
+	if raw != 3 || bugs != 1 {
+		t.Fatalf("post-rediscovery raw=%d bugs=%d, want 3/1", raw, bugs)
+	}
+
+	// The store reopens as version 2 with the migration already applied.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, bugs = s2.Stats()
+	if raw != 3 || bugs != 1 {
+		t.Fatalf("reopened store raw=%d bugs=%d, want 3/1", raw, bugs)
+	}
+
+	// A distinct family sharing the window class must NOT collapse into the
+	// canonical cluster: the scenario segment is identity.
+	nested := finding(50, core.FindingEncoded, "Spectre", gen.TrigBranchMispred, []string{"dcache"}, nil, 778)
+	nested.Scenario = "nested-fault-in-branch"
+	_, newBugs, err = s2.Add("c2", "boom", 2, nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newBugs != 1 {
+		t.Fatal("nested-family finding collapsed into the canonical branch cluster")
+	}
+}
+
+// TestOpenRejectsUnknownVersion pins the version guard above the shim.
+func TestOpenRejectsUnknownVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "findings.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"bugs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("version-99 store loaded")
+	}
+}

@@ -9,10 +9,19 @@ import (
 
 	"dejavuzz/internal/atomicfile"
 	"dejavuzz/internal/core"
+	"dejavuzz/internal/scenario"
 )
 
 // StoreVersion guards the findings-store file format against drift.
-const StoreVersion = 1
+// Version 2 added the scenario family to bug signatures; version-1 stores
+// load through a migration shim (see migrateV1Locked) that derives each
+// cluster's family from its window class, so pre-scenario findings.json
+// files keep loading — and keep deduplicating against new findings of the
+// canonical families — without re-triage.
+const StoreVersion = 2
+
+// storeVersionV1 is the pre-scenario format Open still accepts.
+const storeVersionV1 = 1
 
 // Store is the persistent triaged-findings store: raw findings go in,
 // deduplicated bug clusters come out, and every mutation is atomically
@@ -62,7 +71,7 @@ func Open(path string) (*Store, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("triage: parse store %s: %w", path, err)
 	}
-	if f.Version != StoreVersion {
+	if f.Version != StoreVersion && f.Version != storeVersionV1 {
 		return nil, fmt.Errorf("triage: store %s has version %d, want %d", path, f.Version, StoreVersion)
 	}
 	s.raw = f.Raw
@@ -73,9 +82,33 @@ func Open(path string) (*Store, error) {
 			b.occurrences[k] = true
 		}
 		b.Count = len(b.occurrences)
+		if f.Version == storeVersionV1 {
+			if err := migrateV1(&b); err != nil {
+				return nil, fmt.Errorf("triage: store %s: %w", path, err)
+			}
+		}
 		s.bugs[b.Signature] = &b
 	}
 	return s, nil
+}
+
+// migrateV1 upgrades one pre-scenario bug cluster in place: the scenario
+// family is derived from the window class (every v1 finding came from a
+// canonical family, so the mapping is exact), the Example finding is
+// annotated, and the signature is recomputed in the v2 shape — identical to
+// what Compute would now produce for a rediscovery of the same bug, so old
+// clusters keep absorbing new occurrences.
+func migrateV1(b *Bug) error {
+	fam, ok := scenario.ByWindowName(b.Window)
+	if !ok {
+		return fmt.Errorf("v1 bug %q has unknown window class %q", b.Signature, b.Window)
+	}
+	b.Scenario = fam.Name()
+	if b.Example.Scenario == "" {
+		b.Example.Scenario = fam.Name()
+	}
+	b.Signature = Compute(b.Target, &b.Example)
+	return nil
 }
 
 // Add triages one batch of raw findings from a campaign, deduplicating them

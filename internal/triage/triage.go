@@ -26,9 +26,10 @@ import (
 
 // Signature identifies a triaged bug: the target name joined with the
 // finding's stable identity fields (core.Finding.SignatureInputs — kind,
-// attack type, window class, leak-site components, mechanism witnesses).
-// It is a readable '|'-separated string, identical for every rediscovery of
-// the same bug regardless of campaign seed or iteration count.
+// attack type, window class, scenario family, leak-site components,
+// mechanism witnesses). It is a readable '|'-separated string, identical
+// for every rediscovery of the same bug regardless of campaign seed or
+// iteration count.
 type Signature string
 
 // Compute derives the signature for one finding on one target.
@@ -44,6 +45,7 @@ type Bug struct {
 	Kind       string    `json:"kind"`
 	AttackType string    `json:"attack_type"`
 	Window     string    `json:"window"`
+	Scenario   string    `json:"scenario"`
 	Components []string  `json:"components"`
 	BugLabels  []string  `json:"bug_labels,omitempty"`
 	// Count is the number of distinct (campaign, iteration) occurrences.
@@ -116,8 +118,9 @@ func newBug(sig Signature, target string, f *core.Finding) *Bug {
 		Kind:       in[0],
 		AttackType: in[1],
 		Window:     in[2],
-		Components: splitPlus(in[3]),
-		BugLabels:  splitPlus(in[4]),
+		Scenario:   in[3],
+		Components: splitPlus(in[4]),
+		BugLabels:  splitPlus(in[5]),
 		Example:    *f,
 	}
 }

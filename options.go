@@ -46,6 +46,16 @@ func WithMergeEvery(n int) Option {
 	return func(s *settings) { s.opts.MergeEvery = n }
 }
 
+// WithScenarios restricts the campaign to the named scenario families (see
+// Scenarios for the registry). Names are validated by New; an empty call
+// keeps the default of every registered family. Like WithShards — and
+// unlike WithWorkers — the scenario set is determinism-relevant: it
+// reshapes the stimulus streams, is recorded in checkpoints, and resuming a
+// checkpoint under a different set fails with an option-mismatch error.
+func WithScenarios(names ...string) Option {
+	return func(s *settings) { s.opts.Scenarios = append([]string(nil), names...) }
+}
+
 // WithVariant selects the training strategy: Derived (DejaVuzz) or
 // RandomTraining (the DejaVuzz* ablation).
 func WithVariant(v Variant) Option {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# check-scenarios.sh — fail if the README's scenario-catalog table disagrees
+# with the binary's `dejavuzz -list-scenarios` output. Both render the same
+# canonical table (scenario.CatalogTable), so any drift — a family added
+# without a README row, a class renamed in one place — breaks CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+got=$(go run ./cmd/dejavuzz -list-scenarios)
+# `|| true` so an empty section reaches the diagnostic below instead of
+# tripping set -e inside the substitution.
+want=$(sed -n '/<!-- scenario-catalog:begin/,/<!-- scenario-catalog:end -->/p' README.md | grep '^|' || true)
+
+if [ -z "$want" ]; then
+  echo "check-scenarios: README.md has no scenario-catalog section" >&2
+  exit 1
+fi
+if ! diff <(printf '%s\n' "$got") <(printf '%s\n' "$want"); then
+  echo "check-scenarios: README scenario catalog disagrees with 'dejavuzz -list-scenarios'" >&2
+  echo "check-scenarios: regenerate the README table from the command output above" >&2
+  exit 1
+fi
+families=$(printf '%s\n' "$got" | tail -n +3 | wc -l)
+echo "check-scenarios: README catalog matches -list-scenarios ($families families)"

@@ -40,6 +40,9 @@ func New(target string, opts ...Option) (*Campaign, error) {
 		o(&s)
 	}
 	s.opts.Target = t.Name() // options never change the target
+	if err := core.ValidateScenarios(s.opts.Scenarios); err != nil {
+		return nil, fmt.Errorf("dejavuzz: %w", err)
+	}
 	if s.ckptPath != "" {
 		// Fail the dominant misconfiguration (missing/unwritable checkpoint
 		// directory) here, where there is an error path — autosave failures
@@ -146,6 +149,11 @@ type Event struct {
 	// Done/Total are completed and total campaign iterations; Coverage is
 	// the merged coverage point count.
 	Done, Total, Coverage int
+
+	// Scenarios carries the cumulative per-family statistics — picks,
+	// coverage yield, findings, adaptive sampling weight — as of the
+	// barrier that emitted the event (EventEpoch only).
+	Scenarios []ScenarioStat
 
 	// Finding is the merged finding (EventFinding).
 	Finding *Finding
@@ -333,7 +341,8 @@ func (c *Campaign) launch(ctx context.Context, state *core.EngineState) (*Sessio
 			s.emit(ctx, Event{Kind: EventFinding, Finding: &f,
 				Done: b.Done, Total: b.Total, Coverage: b.Coverage})
 		}
-		s.emit(ctx, Event{Kind: EventEpoch, Done: b.Done, Total: b.Total, Coverage: b.Coverage})
+		s.emit(ctx, Event{Kind: EventEpoch, Done: b.Done, Total: b.Total, Coverage: b.Coverage,
+			Scenarios: b.Scenarios})
 		if c.ckptPath != "" && (b.Epoch+1)%saveEvery == 0 {
 			ck := &Checkpoint{state: b.Snapshot()}
 			err := ck.Save(c.ckptPath)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"dejavuzz/internal/core"
 	"dejavuzz/internal/gen"
 )
 
@@ -49,6 +50,11 @@ type Options struct {
 	// Variant is "derived" (DejaVuzz, the default) or "random" (the
 	// DejaVuzz* ablation).
 	Variant string
+	// Scenarios restricts the campaign to the named scenario families;
+	// empty means every registered family. Names are validated at decode
+	// time, so a misspelled family is rejected at the API boundary instead
+	// of silently running a different campaign.
+	Scenarios []string
 	// The ablation toggles, phrased so the zero value is the full fuzzer.
 	NoCoverageFeedback bool
 	NoLiveness         bool
@@ -66,19 +72,20 @@ const (
 // bit for the two explicit-zero fields, omitempty elides defaults so a
 // marshalled default configuration is `{}`.
 type wireOptions struct {
-	Target             string `json:"target,omitempty"`
-	Seed               *int64 `json:"seed,omitempty"`
-	Iterations         *int   `json:"iterations,omitempty"`
-	Workers            int    `json:"workers,omitempty"`
-	Shards             int    `json:"shards,omitempty"`
-	MergeEvery         int    `json:"merge_every,omitempty"`
-	MaxCycles          int    `json:"max_cycles,omitempty"`
-	SecretRetries      int    `json:"secret_retries,omitempty"`
-	Variant            string `json:"variant,omitempty"`
-	NoCoverageFeedback bool   `json:"no_coverage_feedback,omitempty"`
-	NoLiveness         bool   `json:"no_liveness,omitempty"`
-	NoReduction        bool   `json:"no_reduction,omitempty"`
-	Bugless            bool   `json:"bugless,omitempty"`
+	Target             string   `json:"target,omitempty"`
+	Seed               *int64   `json:"seed,omitempty"`
+	Iterations         *int     `json:"iterations,omitempty"`
+	Workers            int      `json:"workers,omitempty"`
+	Shards             int      `json:"shards,omitempty"`
+	MergeEvery         int      `json:"merge_every,omitempty"`
+	MaxCycles          int      `json:"max_cycles,omitempty"`
+	SecretRetries      int      `json:"secret_retries,omitempty"`
+	Variant            string   `json:"variant,omitempty"`
+	Scenarios          []string `json:"scenarios,omitempty"`
+	NoCoverageFeedback bool     `json:"no_coverage_feedback,omitempty"`
+	NoLiveness         bool     `json:"no_liveness,omitempty"`
+	NoReduction        bool     `json:"no_reduction,omitempty"`
+	Bugless            bool     `json:"bugless,omitempty"`
 }
 
 // MarshalJSON encodes the options in wire form. "seed" and "iterations"
@@ -93,6 +100,7 @@ func (o Options) MarshalJSON() ([]byte, error) {
 		MaxCycles:          o.MaxCycles,
 		SecretRetries:      o.SecretRetries,
 		Variant:            o.Variant,
+		Scenarios:          o.Scenarios,
 		NoCoverageFeedback: o.NoCoverageFeedback,
 		NoLiveness:         o.NoLiveness,
 		NoReduction:        o.NoReduction,
@@ -123,6 +131,9 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 	if _, err := parseVariant(w.Variant); err != nil {
 		return err
 	}
+	if err := core.ValidateScenarios(w.Scenarios); err != nil {
+		return fmt.Errorf("dejavuzz: %w", err)
+	}
 	*o = Options{
 		Target:             w.Target,
 		Workers:            w.Workers,
@@ -131,6 +142,7 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 		MaxCycles:          w.MaxCycles,
 		SecretRetries:      w.SecretRetries,
 		Variant:            w.Variant,
+		Scenarios:          w.Scenarios,
 		NoCoverageFeedback: w.NoCoverageFeedback,
 		NoLiveness:         w.NoLiveness,
 		NoReduction:        w.NoReduction,
@@ -215,6 +227,9 @@ func (o Options) Functional() ([]Option, error) {
 	}
 	if variant != gen.VariantDerived {
 		opts = append(opts, WithVariant(variant))
+	}
+	if len(o.Scenarios) > 0 {
+		opts = append(opts, WithScenarios(o.Scenarios...))
 	}
 	if o.NoCoverageFeedback {
 		opts = append(opts, WithCoverageFeedback(false))

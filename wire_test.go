@@ -38,11 +38,13 @@ func TestOptionsJSONRoundTrip(t *testing.T) {
 		{"nonzero-iterations-without-marker", Options{Iterations: 64}},
 		{"target-only", Options{Target: "isasim"}},
 		{"variant-random", Options{Variant: VariantNameRandom}},
+		{"scenario-filter", Options{Scenarios: []string{"cache-occupancy", "branch-mispredict"}}},
 		{"all-knobs", Options{
 			Target: "xiangshan", Seed: -7, SeedSet: true,
 			Iterations: 256, IterationsSet: true,
 			Workers: 4, Shards: 16, MergeEvery: 32, MaxCycles: 5000,
 			SecretRetries: 3, Variant: VariantNameRandom,
+			Scenarios:          []string{"page-fault", "stl-forward-chain"},
 			NoCoverageFeedback: true, NoLiveness: true, NoReduction: true,
 			Bugless: true,
 		}},
@@ -124,6 +126,18 @@ func TestOptionsJSONBadVariant(t *testing.T) {
 	var o Options
 	if err := json.Unmarshal([]byte(`{"variant":"quantum"}`), &o); err == nil {
 		t.Fatal("unknown variant must fail to decode")
+	}
+}
+
+// TestOptionsJSONBadScenario checks decode-time validation of the scenario
+// filter: an unregistered family never reaches campaign construction.
+func TestOptionsJSONBadScenario(t *testing.T) {
+	var o Options
+	if err := json.Unmarshal([]byte(`{"scenarios":["branch-mispredict","warp-drive"]}`), &o); err == nil {
+		t.Fatal("unknown scenario family must fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{"scenarios":["cache-occupancy"]}`), &o); err != nil {
+		t.Fatalf("valid scenario filter failed to decode: %v", err)
 	}
 }
 
