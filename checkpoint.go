@@ -64,15 +64,17 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, ck); err != nil {
 		return nil, fmt.Errorf("dejavuzz: parse checkpoint %s: %w", path, err)
 	}
-	if ck.state.Version != core.EngineStateVersion {
-		return nil, fmt.Errorf("dejavuzz: checkpoint %s has version %d, want %d",
-			path, ck.state.Version, core.EngineStateVersion)
-	}
 	// Engine states always carry a resolved target; its absence means the
 	// file is some other JSON artifact (e.g. a campaign-matrix checkpoint,
 	// which shares the version field).
 	if ck.state.Options.Target == "" {
 		return nil, fmt.Errorf("dejavuzz: %s is not a session checkpoint (no target)", path)
+	}
+	// Upgrade legacy (version-2, EMA-era) snapshots in place: the bandit
+	// posterior is seeded from the checkpointed per-family statistics.
+	// Unknown versions — including pre-scheduler v1 — are refused here.
+	if err := ck.state.Migrate(); err != nil {
+		return nil, fmt.Errorf("dejavuzz: checkpoint %s: %w", path, err)
 	}
 	return ck, nil
 }

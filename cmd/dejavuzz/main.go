@@ -5,9 +5,9 @@
 //
 //	dejavuzz [-target boom|xiangshan|isasim] [-n iterations] [-seed N]
 //	         [-workers N] [-shards N] [-variant derived|random]
-//	         [-scenarios fam1,fam2,...] [-no-feedback] [-no-liveness]
-//	         [-no-reduction] [-bugless] [-checkpoint state.json]
-//	         [-progress] [-v]
+//	         [-scenarios fam1,fam2,...] [-scheduler ucb|ema]
+//	         [-no-feedback] [-no-liveness] [-no-reduction] [-bugless]
+//	         [-checkpoint state.json] [-progress] [-v]
 //
 // Campaigns are deterministic: the same -seed/-n/-shards produce identical
 // findings and coverage for any -workers value. Single campaigns run as a
@@ -17,7 +17,10 @@
 // checkpoint. -list-targets prints the target registry; -list-scenarios
 // prints the scenario-family catalog; -scenarios restricts a campaign to
 // the named families (a determinism-relevant option: resuming a checkpoint
-// under a different set fails with an option-mismatch error).
+// under a different set fails with an option-mismatch error). -scheduler
+// selects the scenario-scheduling policy — ucb (the default no-starvation
+// bandit) or ema (the legacy decaying policy, kept for A/B comparison) —
+// and is determinism-relevant the same way.
 //
 // Matrix mode runs a grid of campaigns (cores × variants × ablations ×
 // seeds) over a shared worker pool with optional whole-campaign
@@ -27,8 +30,9 @@
 //	         [-n iterations] [-workers N] [-checkpoint state.json] [-progress]
 //
 // The single-campaign flags remain meaningful in matrix mode: -seed,
-// -target, -variant, -shards and the -no-*/-bugless ablation flags supply
-// the base options, which matrix dimensions override per axis when present.
+// -target, -variant, -shards, -scheduler and the -no-*/-bugless ablation
+// flags supply the base options, which matrix dimensions override per axis
+// when present.
 package main
 
 import (
@@ -65,6 +69,7 @@ func realMain() int {
 	shards := flag.Int("shards", 0, "deterministic logical shards (0 = default 8; changes stimulus streams)")
 	variant := flag.String("variant", "derived", "training strategy: derived (DejaVuzz) or random (DejaVuzz*)")
 	scenarios := flag.String("scenarios", "", "comma-separated scenario families to fuzz (see -list-scenarios; default all)")
+	scheduler := flag.String("scheduler", "", "scenario-scheduling policy: ucb (default) or ema (legacy)")
 	noFeedback := flag.Bool("no-feedback", false, "disable taint-coverage feedback (DejaVuzz-)")
 	noLiveness := flag.Bool("no-liveness", false, "disable tainted-sink liveness analysis")
 	noReduction := flag.Bool("no-reduction", false, "disable training reduction")
@@ -141,6 +146,10 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	if err := core.ValidateSchedulerPolicy(*scheduler); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	// Ctrl-C cancels the session/matrix at the next merge barrier, where a
 	// resumable checkpoint is saved.
@@ -165,6 +174,7 @@ func realMain() int {
 		base.UseReduction = !*noReduction
 		base.Bugless = *bugless
 		base.Scenarios = scenarioSet
+		base.Scheduler = *scheduler
 		return runMatrix(ctx, *matrix, base, *workers, *checkpoint, *progress)
 	}
 
@@ -187,6 +197,9 @@ func realMain() int {
 	}
 	if len(scenarioSet) > 0 {
 		opts = append(opts, dejavuzz.WithScenarios(scenarioSet...))
+	}
+	if *scheduler != "" {
+		opts = append(opts, dejavuzz.WithScheduler(*scheduler))
 	}
 	if *checkpoint != "" {
 		opts = append(opts, dejavuzz.WithCheckpointFile(*checkpoint))

@@ -5,20 +5,29 @@
 // Usage:
 //
 //	dvz-bench [-out BENCH_campaign.json] [-n iterations] [-seed N] [-target boom]
+//	dvz-bench -check BENCH_campaign.json
 //
 // The benchmark runs one fixed campaign at Workers=1 and Workers=8
 // (identical results by the engine's determinism guarantee — the comparison
 // is pure scheduling/scaling) and records iterations per second for each,
-// plus the coverage-matrix size at fixed iteration counts.
+// plus the coverage-matrix size at fixed iteration counts. The same
+// campaign also runs once under the legacy -scheduler=ema policy, so the
+// artifact carries a per-family A/B of the default UCB bandit against the
+// EMA policy it replaced (the EMA rows are expected to show starvation —
+// that is the bug the bandit fixed). -check re-reads a committed artifact
+// and fails if any enabled family recorded zero picks under the default
+// policy, which is how CI gates on scheduler starvation regressions.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"dejavuzz"
@@ -61,10 +70,16 @@ type Result struct {
 	// dedup down to.
 	TriageFindingsPerSec float64 `json:"triage_findings_per_sec"`
 	TriagedBugs          int     `json:"triaged_bugs"`
-	// Scenarios carries the per-family trajectory of the Workers=1 run:
-	// how the adaptive scheduler allocated iterations, each family's
-	// effective throughput and how long it took to its first finding.
-	Scenarios []ScenarioBench `json:"scenarios"`
+	// Scheduler is the policy the main runs used (the engine default, ucb);
+	// Scenarios carries their per-family trajectory from the Workers=1 run:
+	// how the bandit allocated iterations, each family's effective
+	// throughput and how long it took to its first finding. ScenariosEMA is
+	// the same campaign re-run under -scheduler=ema at Workers=1 — the A/B
+	// baseline against the legacy policy, whose rows are expected to show
+	// starved families (that is the bug the bandit fixed).
+	Scheduler    string          `json:"scheduler"`
+	Scenarios    []ScenarioBench `json:"scenarios"`
+	ScenariosEMA []ScenarioBench `json:"scenarios_ema"`
 }
 
 // ScenarioBench is one scenario family's benchmark row.
@@ -74,40 +89,109 @@ type ScenarioBench struct {
 	// ItersPerSec is the family's share of campaign throughput.
 	Picks       int     `json:"picks"`
 	ItersPerSec float64 `json:"iters_per_sec"`
-	// Findings counts the family's raw findings; TimeToFirstFindingMS
-	// estimates the wall-clock time to its first one (-1 when none),
-	// prorated the same way the engine estimates Report.FirstBug.
+	// Findings counts the family's raw findings; TimeToFirstFindingMS is
+	// measured wall-clock from campaign start to the merge barrier at which
+	// the family's first finding streamed (-1 when none). Barrier
+	// granularity makes it an upper bound, but unlike the prorated estimate
+	// it replaced it never misattributes time across families whose
+	// per-iteration costs differ several-fold.
 	Findings             int     `json:"findings"`
 	TimeToFirstFindingMS float64 `json:"time_to_first_finding_ms"`
-	// Weight is the adaptive scheduler's final sampling weight.
-	Weight float64 `json:"weight"`
+	// Weight is the scheduler's final sampling weight; MeanYield and
+	// ExplorationBonus decompose it (weight = mean + bonus under ucb; under
+	// ema the bonus is zero and the weight is the decayed average).
+	Weight           float64 `json:"weight"`
+	MeanYield        float64 `json:"mean_yield"`
+	ExplorationBonus float64 `json:"exploration_bonus"`
 }
 
-// run executes one campaign and reports throughput plus the heap-allocation
-// cost per iteration (mallocs and bytes, measured as a MemStats delta
-// around the run — the testing.AllocsPerRun technique applied to a whole
-// campaign).
-func run(target string, seed int64, n, workers int, freshContexts bool) (*dejavuzz.Report, float64, float64, float64, error) {
-	c, err := dejavuzz.New(target,
+// runResult is one measured campaign: its report, throughput, per-iteration
+// heap cost, and the wall-clock time at which each family's first finding
+// streamed out of a merge barrier.
+type runResult struct {
+	rep            *dejavuzz.Report
+	itersPerSec    float64
+	allocsPerIter  float64
+	bytesPerIter   float64
+	firstFindingMS map[string]float64
+}
+
+// run executes one campaign as a streaming session and reports throughput
+// plus the heap-allocation cost per iteration (mallocs and bytes, measured
+// as a MemStats delta around the run — the testing.AllocsPerRun technique
+// applied to a whole campaign). Driving the event stream instead of the
+// blocking Run lets the benchmark timestamp each family's first finding as
+// it leaves a merge barrier — real wall-clock accounting, replacing the old
+// prorated estimate that misattributed time across families whose
+// per-iteration costs differ several-fold.
+func run(target string, seed int64, n, workers int, freshContexts bool, policy string) (*runResult, error) {
+	opts := []dejavuzz.Option{
 		dejavuzz.WithSeed(seed),
 		dejavuzz.WithIterations(n),
 		dejavuzz.WithWorkers(workers),
 		dejavuzz.WithMergeEvery(16),
 		dejavuzz.WithFreshContexts(freshContexts),
-	)
+	}
+	if policy != "" {
+		opts = append(opts, dejavuzz.WithScheduler(policy))
+	}
+	c, err := dejavuzz.New(target, opts...)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return nil, err
 	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	rep := c.Run()
+	session, err := c.Start(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	first := map[string]float64{}
+	for ev := range session.Events() {
+		if ev.Kind == dejavuzz.EventFinding {
+			name := ev.Finding.ScenarioName()
+			if _, ok := first[name]; !ok {
+				first[name] = float64(time.Since(start).Microseconds()) / 1000.0
+			}
+		}
+	}
+	rep, err := session.Wait()
+	if err != nil {
+		return nil, err
+	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
-	allocsPerIter := float64(after.Mallocs-before.Mallocs) / float64(n)
-	bytesPerIter := float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
-	return rep, float64(n) / elapsed.Seconds(), allocsPerIter, bytesPerIter, nil
+	return &runResult{
+		rep:            rep,
+		itersPerSec:    float64(n) / elapsed.Seconds(),
+		allocsPerIter:  float64(after.Mallocs-before.Mallocs) / float64(n),
+		bytesPerIter:   float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		firstFindingMS: first,
+	}, nil
+}
+
+// benchRows converts one run's per-family report statistics into benchmark
+// rows, joining in the measured first-finding wall-clock times.
+func benchRows(r *runResult) []ScenarioBench {
+	var rows []ScenarioBench
+	for _, sc := range r.rep.Scenarios {
+		row := ScenarioBench{
+			Name:                 sc.Name,
+			Picks:                sc.Picks,
+			ItersPerSec:          float64(sc.Picks) / r.rep.Duration.Seconds(),
+			Findings:             sc.Findings,
+			TimeToFirstFindingMS: -1,
+			Weight:               sc.Weight,
+			MeanYield:            sc.MeanYield,
+			ExplorationBonus:     sc.ExplorationBonus,
+		}
+		if ms, ok := r.firstFindingMS[sc.Name]; ok {
+			row.TimeToFirstFindingMS = ms
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // benchTriage measures finding throughput through a persistent triage
@@ -137,36 +221,85 @@ func benchTriage(target string, seed int64, findings []dejavuzz.Finding) (perSec
 	return perSec, bugs, nil
 }
 
+// checkArtifact re-reads a benchmark artifact and verifies no enabled
+// family starved under the default policy: every row in "scenarios" must
+// record at least one pick. The EMA A/B rows are exempt — starving there is
+// the documented legacy behaviour the comparison exists to show.
+func checkArtifact(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	if len(res.Scenarios) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: no scenario rows — artifact predates per-family stats or is not a dvz-bench result\n", path)
+		return 1
+	}
+	var starved []string
+	for _, sc := range res.Scenarios {
+		if sc.Picks == 0 {
+			starved = append(starved, sc.Name)
+		}
+	}
+	if len(starved) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: scheduler starvation — %d of %d families got zero picks: %s\n",
+			path, len(starved), len(res.Scenarios), strings.Join(starved, ", "))
+		return 1
+	}
+	fmt.Printf("%s: ok — all %d families picked (scheduler=%s)\n", path, len(res.Scenarios), res.Scheduler)
+	return 0
+}
+
 func main() {
 	out := flag.String("out", "BENCH_campaign.json", "output JSON path")
 	n := flag.Int("n", 128, "campaign iterations")
 	seed := flag.Int64("seed", 42, "campaign seed")
 	target := flag.String("target", dejavuzz.DefaultTarget, "registered target to benchmark")
+	check := flag.String("check", "", "verify an existing artifact (fail on starved families) instead of benchmarking")
 	flag.Parse()
 
-	rep1, ips1, allocs1, bytes1, err := run(*target, *seed, *n, 1, false)
+	if *check != "" {
+		os.Exit(checkArtifact(*check))
+	}
+
+	r1, err := run(*target, *seed, *n, 1, false, "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep8, ips8, _, _, err := run(*target, *seed, *n, 8, false)
+	rep1 := r1.rep
+	r8, err := run(*target, *seed, *n, 8, false, "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	rep8 := r8.rep
 	if rep1.Coverage != rep8.Coverage || len(rep1.Findings) != len(rep8.Findings) {
 		fmt.Fprintf(os.Stderr, "determinism violation: workers=1 (%d cov, %d findings) vs workers=8 (%d cov, %d findings)\n",
 			rep1.Coverage, len(rep1.Findings), rep8.Coverage, len(rep8.Findings))
 		os.Exit(1)
 	}
-	repF, ipsF, allocsF, bytesF, err := run(*target, *seed, *n, 1, true)
+	rF, err := run(*target, *seed, *n, 1, true, "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	repF := rF.rep
 	if repF.Coverage != rep1.Coverage || len(repF.Findings) != len(rep1.Findings) {
 		fmt.Fprintf(os.Stderr, "reset-equivalence violation: reuse (%d cov, %d findings) vs fresh (%d cov, %d findings)\n",
 			rep1.Coverage, len(rep1.Findings), repF.Coverage, len(repF.Findings))
+		os.Exit(1)
+	}
+	// The same campaign under the legacy EMA policy, Workers=1: the A/B
+	// baseline the bandit is measured against.
+	rEMA, err := run(*target, *seed, *n, 1, false, dejavuzz.SchedulerEMA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
@@ -177,43 +310,26 @@ func main() {
 		NumCPU:             runtime.NumCPU(),
 		GoVersion:          runtime.Version(),
 		UnixTime:           time.Now().Unix(),
-		Workers1:           ips1,
-		Workers8:           ips8,
-		Speedup:            ips8 / ips1,
-		AllocsPerIter:      allocs1,
-		BytesPerIter:       bytes1,
-		FreshAllocsPerIter: allocsF,
-		FreshBytesPerIter:  bytesF,
-		AllocReduction:     allocsF / allocs1,
-		FreshSlowdown:      ips1 / ipsF,
+		Workers1:           r1.itersPerSec,
+		Workers8:           r8.itersPerSec,
+		Speedup:            r8.itersPerSec / r1.itersPerSec,
+		AllocsPerIter:      r1.allocsPerIter,
+		BytesPerIter:       r1.bytesPerIter,
+		FreshAllocsPerIter: rF.allocsPerIter,
+		FreshBytesPerIter:  rF.bytesPerIter,
+		AllocReduction:     rF.allocsPerIter / r1.allocsPerIter,
+		FreshSlowdown:      r1.itersPerSec / rF.itersPerSec,
 		CoverageAt:         map[string]int{},
 		Findings:           len(rep1.Findings),
+		Scheduler:          dejavuzz.SchedulerUCB,
+		Scenarios:          benchRows(r1),
+		ScenariosEMA:       benchRows(rEMA),
 	}
 	hist := rep1.CoverageHistory()
 	for _, probe := range []int{16, 32, 64, 128} {
 		if probe <= len(hist) {
 			res.CoverageAt[fmt.Sprint(probe)] = hist[probe-1]
 		}
-	}
-
-	// Per-scenario trajectory from the Workers=1 run: family throughput is
-	// its pick share of the campaign rate; time-to-first-finding prorates
-	// the campaign duration to the finding's iteration, mirroring the
-	// engine's Report.FirstBug estimate.
-	for _, sc := range rep1.Scenarios {
-		row := ScenarioBench{
-			Name:                 sc.Name,
-			Picks:                sc.Picks,
-			ItersPerSec:          float64(sc.Picks) / rep1.Duration.Seconds(),
-			Findings:             sc.Findings,
-			TimeToFirstFindingMS: -1,
-			Weight:               sc.Weight,
-		}
-		if sc.FirstFindingIter >= 0 {
-			frac := float64(sc.FirstFindingIter+1) / float64(*n)
-			row.TimeToFirstFindingMS = frac * float64(rep1.Duration.Milliseconds())
-		}
-		res.Scenarios = append(res.Scenarios, row)
 	}
 
 	res.TriageFindingsPerSec, res.TriagedBugs, err = benchTriage(*target, *seed, rep1.Findings)
@@ -232,5 +348,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), %.0f allocs/iter (fresh: %.0f, %.1fx reduction), coverage=%d, triage=%.0f findings/s -> %d bugs\n",
-		*out, ips1, ips8, res.Speedup, res.AllocsPerIter, res.FreshAllocsPerIter, res.AllocReduction, rep1.Coverage, res.TriageFindingsPerSec, res.TriagedBugs)
+		*out, res.Workers1, res.Workers8, res.Speedup, res.AllocsPerIter, res.FreshAllocsPerIter, res.AllocReduction, rep1.Coverage, res.TriageFindingsPerSec, res.TriagedBugs)
 }

@@ -9,12 +9,13 @@ import (
 	"dejavuzz/internal/core"
 )
 
-// checkpointVersion guards against format drift between PRs. Version 2
-// marks the scenario-scheduler engine: campaign results changed for
-// identical options (adaptive family sampling reshaped the stimulus
-// streams), so pre-scheduler checkpoints must not be served as cached
-// results for specs they no longer correspond to.
-const checkpointVersion = 2
+// checkpointVersion guards against format drift between PRs. Version 3
+// marks the bandit-scheduler engine: the default scheduling policy changed
+// from EMA-with-floor to UCB, so results cached by an EMA-era run no longer
+// correspond to the campaigns today's identical-looking specs would
+// produce, and must not be served from cache. (Version 2 was the
+// EMA-scheduler era.)
+const checkpointVersion = 3
 
 // checkpoint is the on-disk resume state: finished campaign reports keyed by
 // spec name. Reports round-trip losslessly through JSON (seeds included), so

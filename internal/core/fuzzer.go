@@ -53,6 +53,14 @@ type Options struct {
 	// streams, is serialised into checkpoints, and a resume with a
 	// different set fails with an option-mismatch error.
 	Scenarios []string
+	// Scheduler selects the scenario-scheduling policy: "ucb" (the default —
+	// a deterministic UCB1 bandit that tries every enabled family before
+	// exploiting any and never starves one) or "ema" (the legacy
+	// EMA-with-floor, kept for A/B comparison; it can starve families).
+	// Like Scenarios it is determinism-relevant: it reshapes the stimulus
+	// streams, is serialised into checkpoints, and a resume under a
+	// different policy fails with an option-mismatch error.
+	Scheduler string
 	// Variant selects derived (DejaVuzz) or random (DejaVuzz*) training.
 	Variant gen.Variant
 	// UseCoverageFeedback drives mutation from the taint coverage matrix;
@@ -112,6 +120,9 @@ func (o Options) Normalized() Options {
 		o.Target = BuiltinTargetName(o.Core)
 	}
 	o.Scenarios = normalizeScenarios(o.Scenarios)
+	if o.Scheduler == "" {
+		o.Scheduler = string(scenario.DefaultPolicy)
+	}
 	return o
 }
 
@@ -141,6 +152,13 @@ func ValidateScenarios(names []string) error {
 		}
 	}
 	return nil
+}
+
+// ValidateSchedulerPolicy checks a scheduler policy name against the known
+// policies; empty is valid and selects the default.
+func ValidateSchedulerPolicy(name string) error {
+	_, err := scenario.ParsePolicy(name)
+	return err
 }
 
 // EquivalentTo reports whether two option sets are determinism-equivalent:
@@ -178,6 +196,7 @@ func (o Options) DiffFrom(other Options) []string {
 	add("merge_every", a.MergeEvery, b.MergeEvery)
 	add("max_cycles", a.MaxCycles, b.MaxCycles)
 	add("scenarios", scenarioSetString(a.Scenarios), scenarioSetString(b.Scenarios))
+	add("scheduler", a.Scheduler, b.Scheduler)
 	add("variant", a.Variant, b.Variant)
 	add("coverage_feedback", a.UseCoverageFeedback, b.UseCoverageFeedback)
 	add("liveness", a.UseLiveness, b.UseLiveness)
@@ -211,6 +230,7 @@ func DefaultOptions(core uarch.CoreKind) Options {
 		Shards:              8,
 		MergeEvery:          64,
 		MaxCycles:           20000,
+		Scheduler:           string(scenario.DefaultPolicy),
 		Variant:             gen.VariantDerived,
 		UseCoverageFeedback: true,
 		UseLiveness:         true,
@@ -262,8 +282,17 @@ type ScenarioStat struct {
 	Points int `json:"points"`
 	// Findings counts the family's reported findings.
 	Findings int `json:"findings"`
-	// Weight is the scheduler's sampling weight after the latest barrier.
+	// Weight is the scheduler's sampling weight after the latest barrier:
+	// MeanYield+ExplorationBonus under the UCB policy, the EMA value under
+	// the legacy policy.
 	Weight float64 `json:"weight"`
+	// MeanYield is the family's posterior mean yield per pick — cumulative
+	// points plus bonused findings over cumulative picks (0 while untried).
+	MeanYield float64 `json:"mean_yield"`
+	// ExplorationBonus is the bandit's optimism term: it grows for families
+	// the campaign has not looked at recently, which is what guarantees no
+	// family starves. Zero under the legacy EMA policy.
+	ExplorationBonus float64 `json:"exploration_bonus"`
 	// FirstFindingIter is the iteration of the family's first finding
 	// (-1 when it has none yet) — the time-to-first-finding probe.
 	FirstFindingIter int `json:"first_finding_iter"`
@@ -306,10 +335,12 @@ type ShardState struct {
 }
 
 // EngineStateVersion guards the checkpoint format against drift between
-// PRs. Version 2 added the adaptive scenario-scheduler state (weights and
-// per-family statistics); version-1 checkpoints predate the scheduler and
-// cannot resume byte-identically, so they are refused.
-const EngineStateVersion = 2
+// PRs. Version 3 replaced the EMA scheduler's bare weight vector with the
+// bandit posterior (per-family cumulative picks/points/findings plus
+// weight); version-2 checkpoints migrate on load (see Migrate). Version-1
+// checkpoints predate the scheduler and cannot resume byte-identically, so
+// they are refused.
+const EngineStateVersion = 3
 
 // EngineState is a resumable mid-campaign snapshot, taken at a merge
 // barrier. Because shard generators are re-seeded from (campaign seed,
@@ -333,12 +364,53 @@ type EngineState struct {
 	Iters     []IterStat   `json:"iters"`
 	Marks     []EpochMark  `json:"marks"`
 	DeadSinks int          `json:"dead_sinks"`
-	// SchedWeights is the adaptive scenario scheduler's weight vector at the
-	// barrier; Scenarios are the cumulative per-family statistics. Both are
-	// part of the determinism-relevant state: the next epoch's family picks
-	// depend on the weights, so resume must restore them exactly.
-	SchedWeights []scenario.Weight `json:"sched_weights"`
-	Scenarios    []ScenarioStat    `json:"scenario_stats"`
+	// SchedState is the scenario scheduler's serialised state at the
+	// barrier: each family's cumulative bandit posterior (picks, points,
+	// findings) and sampling weight. It is determinism-relevant: the next
+	// epoch's family picks depend on it, so resume must restore it exactly.
+	SchedState []scenario.FamilyState `json:"sched_state,omitempty"`
+	// SchedWeights is the version-2 weight vector, decoded only so Migrate
+	// can seed the posterior from a legacy checkpoint; version-3 snapshots
+	// never write it.
+	SchedWeights []scenario.Weight `json:"sched_weights,omitempty"`
+	// Scenarios are the cumulative per-family statistics.
+	Scenarios []ScenarioStat `json:"scenario_stats"`
+}
+
+// Migrate upgrades a decoded engine state to the current version in place.
+// A version-2 checkpoint (the EMA-scheduler era) carried only a per-family
+// weight vector; the bandit posterior is seeded from the checkpointed
+// ScenarioStat picks/points/findings, joined with the legacy weights, so
+// the resumed scheduler starts from everything the checkpoint knew. Legacy
+// checkpoints name no scheduler policy, so they resume under the campaign's
+// policy — the UCB default unless the caller says otherwise — which applies
+// the starvation fix to in-flight campaigns. Version 1 predates scenario
+// scheduling entirely and is refused, as before.
+func (st *EngineState) Migrate() error {
+	switch st.Version {
+	case EngineStateVersion:
+		return nil
+	case 2:
+		stats := make(map[string]ScenarioStat, len(st.Scenarios))
+		for _, cs := range st.Scenarios {
+			stats[cs.Name] = cs
+		}
+		st.SchedState = make([]scenario.FamilyState, 0, len(st.SchedWeights))
+		for _, w := range st.SchedWeights {
+			cs := stats[w.Name]
+			st.SchedState = append(st.SchedState, scenario.FamilyState{
+				Name:     w.Name,
+				Picks:    cs.Picks,
+				Points:   cs.Points,
+				Findings: cs.Findings,
+				Weight:   w.Weight,
+			})
+		}
+		st.SchedWeights = nil
+		st.Version = EngineStateVersion
+		return nil
+	}
+	return fmt.Errorf("core: engine state version %d, want %d", st.Version, EngineStateVersion)
 }
 
 // Barrier is the payload of one merge-barrier event.
@@ -414,13 +486,21 @@ func NewFuzzer(opts Options) *Fuzzer {
 	if len(families) == 0 {
 		families = scenario.Names()
 	}
+	policy, err := scenario.ParsePolicy(opts.Scheduler)
+	if err != nil {
+		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
+	}
+	sched, err := scenario.NewScheduler(families, policy)
+	if err != nil {
+		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
+	}
 	f := &Fuzzer{
 		opts:     opts,
 		cfg:      cfg,
 		gen:      gen.New(opts.Seed),
 		coverage: NewCoverage(),
 		families: families,
-		sched:    scenario.NewScheduler(families),
+		sched:    sched,
 		scnStats: make(map[string]*ScenarioStat, len(families)),
 	}
 	// The fuzzer-level generator (the Generator() seam experiments and
@@ -457,8 +537,11 @@ func NewFuzzerFromState(st *EngineState, opts Options) (*Fuzzer, error) {
 	if st == nil {
 		return nil, fmt.Errorf("core: nil engine state")
 	}
-	if st.Version != EngineStateVersion {
-		return nil, fmt.Errorf("core: engine state version %d, want %d", st.Version, EngineStateVersion)
+	// Legacy snapshots upgrade in place (v2's weight vector becomes a seeded
+	// bandit posterior); unknown versions — including the pre-scheduler v1 —
+	// are refused here.
+	if err := st.Migrate(); err != nil {
+		return nil, err
 	}
 	if !st.Options.EquivalentTo(opts) {
 		if diffs := opts.DiffFrom(st.Options); len(diffs) > 0 {
@@ -501,10 +584,14 @@ func NewFuzzerFromState(st *EngineState, opts Options) (*Fuzzer, error) {
 		s.gainCount = st.Shards[i].GainCount
 		s.pickCount = st.Shards[i].PickCount
 	}
-	// Restore the adaptive scheduler exactly as it was at the barrier: the
-	// next epoch's family picks depend on these weights, so a lossy restore
-	// would silently break byte-identical resume.
-	sched, err := scenario.NewSchedulerFromWeights(f.families, st.SchedWeights)
+	// Restore the scheduler exactly as it was at the barrier: the next
+	// epoch's family picks depend on its posterior (UCB) or weights (EMA),
+	// so a lossy restore would silently break byte-identical resume.
+	policy, err := scenario.ParsePolicy(norm.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sched, err := scenario.NewSchedulerFromState(f.families, policy, st.SchedState)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -532,10 +619,11 @@ func (f *Fuzzer) snapshot(nextIter, nextEpoch int) *EngineState {
 		Iters:     append([]IterStat(nil), f.iters[:nextIter]...),
 		Marks:     append([]EpochMark(nil), f.marks...),
 		DeadSinks: f.deadSinks,
-		// Scheduler state at the barrier: weights drive the next epoch's
-		// family picks, stats carry the per-family observables forward.
-		SchedWeights: f.sched.Weights(),
-		Scenarios:    f.scenarioStats(),
+		// Scheduler state at the barrier: the posterior drives the next
+		// epoch's family picks, stats carry the per-family observables
+		// forward.
+		SchedState: f.sched.State(),
+		Scenarios:  f.scenarioStats(),
 	}
 	st.Options.OnEpoch = nil
 	st.Options.OnBarrier = nil
@@ -545,20 +633,24 @@ func (f *Fuzzer) snapshot(nextIter, nextEpoch int) *EngineState {
 	return st
 }
 
-// scenarioStats exports cumulative per-family statistics, sorted by
-// name, with each family's current scheduler weight filled in. Families the
-// campaign has not picked yet are included at zero so consumers always see
-// the full enabled set.
+// scenarioStats exports cumulative per-family statistics, sorted by name,
+// with each family's current scheduler weight, posterior mean yield and
+// exploration bonus filled in. Families the campaign has not picked yet are
+// included at zero so consumers always see the full enabled set.
 func (f *Fuzzer) scenarioStats() []ScenarioStat {
 	out := make([]ScenarioStat, 0, len(f.families))
 	for _, name := range f.families {
+		w, mean, bonus := f.sched.Probe(name)
 		if cs, ok := f.scnStats[name]; ok {
 			s := *cs
-			s.Weight = f.sched.WeightOf(name)
+			s.Weight, s.MeanYield, s.ExplorationBonus = w, mean, bonus
 			out = append(out, s)
 			continue
 		}
-		out = append(out, ScenarioStat{Name: name, Weight: f.sched.WeightOf(name), FirstFindingIter: -1})
+		out = append(out, ScenarioStat{
+			Name: name, Weight: w, MeanYield: mean, ExplorationBonus: bonus,
+			FirstFindingIter: -1,
+		})
 	}
 	return out
 }

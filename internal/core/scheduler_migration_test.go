@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/scenario"
+)
+
+// cancelAtBarrier runs a campaign that snapshots and stops at the given
+// iteration count, returning the barrier snapshot.
+func cancelAtBarrier(t *testing.T, opts Options, stopAt int) *EngineState {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts.OnBarrier = func(b *Barrier) {
+		if b.Done == stopAt {
+			cancel()
+		}
+	}
+	rep, state := NewFuzzer(opts).RunContext(ctx)
+	if rep != nil || state == nil {
+		t.Fatal("campaign did not stop at the barrier")
+	}
+	return state
+}
+
+// degradeToV2 rewrites a current (version-3) snapshot into the exact JSON a
+// version-2, EMA-era checkpoint would carry: version 2, the scheduler state
+// flattened to the legacy (name, weight) vector under "sched_weights", and
+// no Scheduler field in the options (the key did not exist then).
+func degradeToV2(t *testing.T, st *EngineState) []byte {
+	t.Helper()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage("2")
+	var fs []scenario.FamilyState
+	if err := json.Unmarshal(m["sched_state"], &fs); err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]scenario.Weight, len(fs))
+	for i, f := range fs {
+		ws[i] = scenario.Weight{Name: f.Name, Weight: f.Weight}
+	}
+	delete(m, "sched_state")
+	m["sched_weights"], err = json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var om map[string]json.RawMessage
+	if err := json.Unmarshal(m["options"], &om); err != nil {
+		t.Fatal(err)
+	}
+	delete(om, "Scheduler")
+	m["options"], err = json.Marshal(om)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEngineStateV2MigrationResumesByteIdentical is the checkpoint-
+// compatibility regression for the scheduler fix: a version-2 (EMA-era)
+// checkpoint must load, seed the bandit posterior from its per-family
+// statistics, and — because UCB weights are a pure function of that
+// posterior — resume to results byte-identical to an uninterrupted run
+// under today's default policy.
+func TestEngineStateV2MigrationResumesByteIdentical(t *testing.T) {
+	ref := NewFuzzer(campaignOpts(1, 64)).Run()
+	if len(ref.Findings) == 0 {
+		t.Fatal("reference campaign found nothing; migration check is vacuous")
+	}
+	state := cancelAtBarrier(t, campaignOpts(4, 64), 32)
+
+	legacy := degradeToV2(t, state)
+	var restored EngineState
+	if err := json.Unmarshal(legacy, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Version != 2 || len(restored.SchedWeights) == 0 || restored.SchedState != nil {
+		t.Fatalf("degraded snapshot is not a faithful v2 checkpoint: version=%d weights=%d state=%d",
+			restored.Version, len(restored.SchedWeights), len(restored.SchedState))
+	}
+	f, err := NewFuzzerFromState(&restored, campaignOpts(8, 64))
+	if err != nil {
+		t.Fatalf("v2 checkpoint refused: %v", err)
+	}
+	resumed := f.Run()
+	if !reflect.DeepEqual(fingerprint(ref), fingerprint(resumed)) {
+		t.Error("v2-migrated resume diverges from uninterrupted run")
+	}
+	if !reflect.DeepEqual(ref.Scenarios, resumed.Scenarios) {
+		t.Errorf("v2-migrated per-family stats diverge: %+v vs %+v", ref.Scenarios, resumed.Scenarios)
+	}
+}
+
+// TestEngineStateV1Refused pins that pre-scheduler checkpoints are still
+// refused — they predate per-family scheduling, so no posterior can be
+// seeded and byte-identical resume is impossible.
+func TestEngineStateV1Refused(t *testing.T) {
+	state := cancelAtBarrier(t, campaignOpts(1, 32), 16)
+	v1 := *state
+	v1.Version = 1
+	if _, err := NewFuzzerFromState(&v1, campaignOpts(1, 32)); err == nil {
+		t.Fatal("version-1 engine state was accepted")
+	} else if !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("v1 refusal does not name the version: %v", err)
+	}
+}
+
+// TestResumeSchedulerMismatchFails extends the option-mismatch safety seam
+// to the new policy knob: a checkpoint written under the UCB default must
+// refuse to resume under -scheduler=ema, naming the field — the two
+// policies sample different family streams, so a silent switch would break
+// byte-identical resume.
+func TestResumeSchedulerMismatchFails(t *testing.T) {
+	state := cancelAtBarrier(t, campaignOpts(1, 32), 16)
+	mismatch := campaignOpts(1, 32)
+	mismatch.Scheduler = string(scenario.PolicyEMA)
+	if _, err := NewFuzzerFromState(state, mismatch); err == nil {
+		t.Fatal("resume under a different scheduler policy did not fail")
+	} else {
+		if !strings.Contains(err.Error(), "scheduler") {
+			t.Fatalf("mismatch error does not name the scheduler option: %v", err)
+		}
+		if !strings.Contains(err.Error(), "ema") || !strings.Contains(err.Error(), "ucb") {
+			t.Fatalf("mismatch error does not show both policies: %v", err)
+		}
+	}
+}
+
+// emaOpts is campaignOpts pinned to the legacy policy.
+func emaOpts(workers, iterations int) Options {
+	opts := campaignOpts(workers, iterations)
+	opts.Scheduler = string(scenario.PolicyEMA)
+	return opts
+}
+
+// TestEMASchedulerDeterministic keeps the legacy policy honest while it
+// stays reachable for A/B runs: Workers=1 vs 8 fingerprints must agree, and
+// cancel+resume must be byte-identical, exactly as under the default.
+func TestEMASchedulerDeterministic(t *testing.T) {
+	ref := NewFuzzer(emaOpts(1, 64)).Run()
+	rep := NewFuzzer(emaOpts(8, 64)).Run()
+	if !reflect.DeepEqual(fingerprint(ref), fingerprint(rep)) {
+		t.Error("EMA policy: Workers=8 fingerprint diverges from Workers=1")
+	}
+	if !reflect.DeepEqual(ref.Scenarios, rep.Scenarios) {
+		t.Error("EMA policy: per-family stats diverge across worker counts")
+	}
+
+	state := cancelAtBarrier(t, emaOpts(4, 64), 32)
+	data, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored EngineState
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFuzzerFromState(&restored, emaOpts(8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := f.Run()
+	if !reflect.DeepEqual(fingerprint(ref), fingerprint(resumed)) {
+		t.Error("EMA policy: cancel+resume diverges from uninterrupted run")
+	}
+}
+
+// TestSchedulerPoliciesDiverge sanity-checks that the -scheduler knob is
+// actually load-bearing: the two policies must schedule observably
+// different campaigns from the same seed (otherwise the A/B comparison in
+// dvz-bench compares a policy with itself).
+func TestSchedulerPoliciesDiverge(t *testing.T) {
+	ucb := NewFuzzer(campaignOpts(1, 64)).Run()
+	ema := NewFuzzer(emaOpts(1, 64)).Run()
+	if reflect.DeepEqual(ucb.Scenarios, ema.Scenarios) {
+		t.Fatal("ucb and ema produced identical per-family statistics; the policy knob is inert")
+	}
+}

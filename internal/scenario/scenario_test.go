@@ -134,47 +134,70 @@ func TestEveryFamilyBuildsQuick(t *testing.T) {
 }
 
 func TestSchedulerPickDistributionFollowsYield(t *testing.T) {
-	fams := []string{"a", "b", "c"}
-	sch := scenario.NewScheduler(fams)
-	// Feed several barriers where only "b" yields.
-	for i := 0; i < 6; i++ {
-		sch.Update(map[string]scenario.Yield{
-			"a": {Picks: 10},
-			"b": {Picks: 10, Points: 40, Findings: 1},
-			"c": {Picks: 10},
+	// Exercised under both policies: a family that keeps yielding must end
+	// up over-sampled relative to dry ones, and no family may hit zero.
+	for _, policy := range []scenario.Policy{scenario.PolicyUCB, scenario.PolicyEMA} {
+		t.Run(string(policy), func(t *testing.T) {
+			fams := []string{"a", "b", "c"}
+			sch, err := scenario.NewScheduler(fams, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Feed several barriers where only "b" yields.
+			for i := 0; i < 6; i++ {
+				sch.Update(map[string]scenario.Yield{
+					"a": {Picks: 10},
+					"b": {Picks: 10, Points: 40, Findings: 1},
+					"c": {Picks: 10},
+				})
+			}
+			if wb, wa := sch.WeightOf("b"), sch.WeightOf("a"); wb <= wa {
+				t.Fatalf("yielding family not upweighted: b=%v a=%v", wb, wa)
+			}
+			rng := rand.New(rand.NewSource(1))
+			counts := map[string]int{}
+			for i := 0; i < 4000; i++ {
+				counts[sch.Pick(rng)]++
+			}
+			if counts["b"] <= counts["a"] || counts["b"] <= counts["c"] {
+				t.Fatalf("pick distribution ignores weights: %v", counts)
+			}
+			// Exploration (UCB bonus / EMA floor) keeps the dry families alive.
+			if counts["a"] == 0 || counts["c"] == 0 {
+				t.Fatalf("exploration starved a family: %v", counts)
+			}
 		})
-	}
-	if wb, wa := sch.WeightOf("b"), sch.WeightOf("a"); wb <= wa {
-		t.Fatalf("yielding family not upweighted: b=%v a=%v", wb, wa)
-	}
-	rng := rand.New(rand.NewSource(1))
-	counts := map[string]int{}
-	for i := 0; i < 4000; i++ {
-		counts[sch.Pick(rng)]++
-	}
-	if counts["b"] <= counts["a"] || counts["b"] <= counts["c"] {
-		t.Fatalf("pick distribution ignores weights: %v", counts)
-	}
-	// The exploration floor keeps the dry families alive.
-	if counts["a"] == 0 || counts["c"] == 0 {
-		t.Fatalf("exploration floor starved a family: %v", counts)
 	}
 }
 
-func TestSchedulerWeightsRoundTrip(t *testing.T) {
-	fams := []string{"x", "y"}
-	sch := scenario.NewScheduler(fams)
-	sch.Update(map[string]scenario.Yield{"x": {Picks: 4, Points: 12}})
-	restored, err := scenario.NewSchedulerFromWeights(fams, sch.Weights())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(sch.Weights(), restored.Weights()) {
-		t.Fatalf("weights did not round-trip: %v vs %v", sch.Weights(), restored.Weights())
-	}
-	// A different family set must be refused (the checkpoint-safety seam).
-	if _, err := scenario.NewSchedulerFromWeights([]string{"x"}, sch.Weights()); err == nil {
-		t.Fatal("weight restore accepted a mismatched family set")
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	for _, policy := range []scenario.Policy{scenario.PolicyUCB, scenario.PolicyEMA} {
+		t.Run(string(policy), func(t *testing.T) {
+			fams := []string{"x", "y"}
+			sch, err := scenario.NewScheduler(fams, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch.Update(map[string]scenario.Yield{"x": {Picks: 4, Points: 12}, "y": {Picks: 2}})
+			restored, err := scenario.NewSchedulerFromState(fams, policy, sch.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sch.State(), restored.State()) {
+				t.Fatalf("state did not round-trip: %v vs %v", sch.State(), restored.State())
+			}
+			// The restored scheduler must draw the same future pick stream.
+			a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+			for i := 0; i < 200; i++ {
+				if p, q := sch.Pick(a), restored.Pick(b); p != q {
+					t.Fatalf("pick %d diverged after restore: %q vs %q", i, p, q)
+				}
+			}
+			// A different family set must be refused (the checkpoint-safety seam).
+			if _, err := scenario.NewSchedulerFromState([]string{"x"}, policy, sch.State()); err == nil {
+				t.Fatal("state restore accepted a mismatched family set")
+			}
+		})
 	}
 }
 

@@ -2,24 +2,65 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
 
-// Scheduler weight-update constants. The update is an exponential moving
-// average of per-pick yield with an exploration floor, so productive
-// families are sampled more while no family ever starves.
+// Policy names the scenario-scheduling algorithm a campaign uses.
+type Policy string
+
 const (
-	// schedAlpha is the EMA retention: how much of the previous weight
-	// survives one barrier update.
-	schedAlpha = 0.5
+	// PolicyUCB is the default: a deterministic UCB1 bandit over each
+	// family's cumulative yield per pick. Every enabled family is tried
+	// before any is exploited, a family's score never decays without new
+	// evidence about it, and the optimism bonus grows for rarely-picked
+	// families — so no family ever starves.
+	PolicyUCB Policy = "ucb"
+	// PolicyEMA is the legacy exponential-moving-average policy with an
+	// exploration floor, kept reachable behind -scheduler=ema so the fix is
+	// A/B-able. It has a starvation bug: families unpicked in an epoch decay
+	// toward the floor despite zero new evidence about them, so an unlucky
+	// first epoch is permanent (the BENCH_campaign.json run that motivated
+	// PolicyUCB left two families at 0 picks in 128 iterations).
+	PolicyEMA Policy = "ema"
+)
+
+// DefaultPolicy is the policy campaigns use when none is named.
+const DefaultPolicy = PolicyUCB
+
+// ParsePolicy validates a policy name; empty selects DefaultPolicy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "":
+		return DefaultPolicy, nil
+	case string(PolicyUCB):
+		return PolicyUCB, nil
+	case string(PolicyEMA):
+		return PolicyEMA, nil
+	}
+	return "", fmt.Errorf("scenario: unknown scheduler policy %q (want %q or %q)", name, PolicyUCB, PolicyEMA)
+}
+
+// Scheduler yield-signal constants, shared by both policies, plus the
+// EMA-policy weight-update constants.
+const (
 	// findingBonus converts one finding into equivalent coverage points for
 	// the yield signal (findings are the scarcer, higher-value event).
 	findingBonus = 16.0
-	// minWeight is the exploration floor every family's weight is clamped
-	// to, as a fraction of the uniform weight 1.0.
+	// ucbExploration is the UCB1 optimism coefficient: a tried family's
+	// exploration bonus is scale*sqrt(ucbExploration*ln(N+1)/n), where N is
+	// the total pick count, n the family's own, and scale the best observed
+	// mean yield (the reward-range normalisation UCB1's [0,1] analysis
+	// assumes).
+	ucbExploration = 2.0
+	// schedAlpha is the EMA retention: how much of the previous weight
+	// survives one barrier update (PolicyEMA only).
+	schedAlpha = 0.5
+	// minWeight is the exploration floor every EMA weight is clamped to, as
+	// a fraction of the uniform weight 1.0.
 	minWeight = 0.25
-	// maxWeight bounds runaway winners so a hot family cannot crowd the
+	// maxWeight bounds runaway EMA winners so a hot family cannot crowd the
 	// rest out within a few barriers.
 	maxWeight = 16.0
 )
@@ -32,66 +73,153 @@ type Yield struct {
 	Findings int
 }
 
-// Weight is one (family, sampling weight) pair — the serialisation unit of
-// the scheduler state (engine checkpoints embed it).
+// Weight is the version-2 engine-checkpoint serialisation unit — one
+// (family, sampling weight) pair. Current checkpoints serialise FamilyState
+// instead; Weight survives only so legacy checkpoints can be decoded and
+// migrated.
 type Weight struct {
 	Name   string  `json:"name"`
 	Weight float64 `json:"weight"`
 }
 
-// Scheduler is the coverage-adaptive scenario sampler one campaign shares
-// across its shards. During an epoch it is read-only (Pick draws from a
-// frozen weight vector using the caller's RNG, so shard streams stay
-// deterministic); at every merge barrier the engine calls Update once with
-// the epoch's merged per-family yield, in fixed order, so the weight
-// trajectory is a pure function of the campaign's deterministic history —
-// worker-count independence and cancel+resume byte-identity carry over.
-type Scheduler struct {
-	names   []string // sorted
-	weights []float64
+// FamilyState is one family's cumulative scheduler posterior — picks,
+// coverage points and findings since campaign start — plus its current
+// sampling weight. It is the serialisation unit of the scheduler state
+// (version-3 engine checkpoints embed it). Under PolicyUCB the weight is a
+// pure function of the posterior and is recomputed on restore; under
+// PolicyEMA the weight itself is the state and the posterior only feeds
+// reporting.
+type FamilyState struct {
+	Name     string  `json:"name"`
+	Picks    int     `json:"picks"`
+	Points   int     `json:"points"`
+	Findings int     `json:"findings"`
+	Weight   float64 `json:"weight"`
 }
 
-// NewScheduler returns a uniform scheduler over the given families.
+// Scheduler is the adaptive scenario sampler one campaign shares across its
+// shards. During an epoch it is read-only (Pick draws from frozen state
+// using the caller's RNG, so shard streams stay deterministic and
+// worker-independent); at every merge barrier the engine calls Update once
+// with the epoch's merged per-family yield, in fixed order, so the
+// scheduling trajectory is a pure function of the campaign's deterministic
+// history — worker-count independence and cancel+resume byte-identity carry
+// over for either policy.
+type Scheduler struct {
+	policy Policy
+	names  []string // sorted
+
+	// Cumulative posterior, parallel to names: total picks, coverage points
+	// and findings per family since campaign start. Never decays — absence
+	// of picks is absence of evidence, not evidence of absence.
+	picks    []int
+	points   []int
+	findings []int
+	total    int // sum of picks
+
+	// weights is the sampling vector Pick draws from: UCB scores (mean
+	// yield + exploration bonus, recomputed from the posterior at every
+	// Update) or EMA weights (updated in place with decay and floor).
+	weights []float64
+	// means/bonuses decompose each family's score for reporting: posterior
+	// mean yield per pick and the optimism term. Under PolicyEMA bonuses
+	// are zero and means are informational only.
+	means   []float64
+	bonuses []float64
+	// untried indexes families with zero cumulative picks. Under PolicyUCB,
+	// Pick draws exclusively (and uniformly) from it while it is non-empty,
+	// so every enabled family is tried before any is exploited; each merge
+	// barrier removes the families the epoch reached, so in the worst case
+	// full coverage takes families×(picks per epoch) iterations. PolicyEMA
+	// leaves it empty (preserving the legacy sampling exactly).
+	untried []int
+}
+
+// NewScheduler returns a scheduler over the given families under the given
+// policy (empty selects DefaultPolicy). It errors on an empty or duplicated
+// family set and on an unknown policy — an empty set has nothing to pick
+// and previously panicked inside Pick instead of failing at construction.
 // Names are sorted internally; registration or option order never matters.
-func NewScheduler(families []string) *Scheduler {
+func NewScheduler(families []string, policy Policy) (*Scheduler, error) {
+	pol, err := ParsePolicy(string(policy))
+	if err != nil {
+		return nil, err
+	}
+	if len(families) == 0 {
+		return nil, fmt.Errorf("scenario: scheduler needs at least one family")
+	}
 	names := append([]string(nil), families...)
 	sort.Strings(names)
-	w := make([]float64, len(names))
-	for i := range w {
-		w[i] = 1.0
-	}
-	return &Scheduler{names: names, weights: w}
-}
-
-// NewSchedulerFromWeights restores a scheduler from checkpointed weights.
-// The weight set must cover exactly the given families.
-func NewSchedulerFromWeights(families []string, ws []Weight) (*Scheduler, error) {
-	s := NewScheduler(families)
-	if len(ws) != len(s.names) {
-		return nil, fmt.Errorf("scenario: checkpoint has %d scheduler weights, campaign has %d families", len(ws), len(s.names))
-	}
-	byName := make(map[string]float64, len(ws))
-	for _, w := range ws {
-		byName[w.Name] = w.Weight
-	}
-	for i, n := range s.names {
-		w, ok := byName[n]
-		if !ok {
-			return nil, fmt.Errorf("scenario: checkpoint carries no scheduler weight for family %q", n)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			return nil, fmt.Errorf("scenario: duplicate family %q in scheduler set", names[i])
 		}
-		s.weights[i] = w
 	}
+	s := &Scheduler{
+		policy:   pol,
+		names:    names,
+		picks:    make([]int, len(names)),
+		points:   make([]int, len(names)),
+		findings: make([]int, len(names)),
+		weights:  make([]float64, len(names)),
+		means:    make([]float64, len(names)),
+		bonuses:  make([]float64, len(names)),
+	}
+	for i := range s.weights {
+		s.weights[i] = 1.0
+	}
+	s.refresh()
 	return s, nil
 }
+
+// NewSchedulerFromState restores a scheduler from checkpointed per-family
+// state. The state must cover exactly the given families. Under PolicyUCB
+// the weights are recomputed from the restored posterior (they are a pure
+// function of it, so resume is byte-identical by construction); under
+// PolicyEMA the stored weights are the state and are kept as-is.
+func NewSchedulerFromState(families []string, policy Policy, st []FamilyState) (*Scheduler, error) {
+	s, err := NewScheduler(families, policy)
+	if err != nil {
+		return nil, err
+	}
+	if len(st) != len(s.names) {
+		return nil, fmt.Errorf("scenario: checkpoint has %d scheduler families, campaign has %d", len(st), len(s.names))
+	}
+	byName := make(map[string]FamilyState, len(st))
+	for _, fs := range st {
+		byName[fs.Name] = fs
+	}
+	s.total = 0
+	for i, n := range s.names {
+		fs, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("scenario: checkpoint carries no scheduler state for family %q", n)
+		}
+		s.picks[i], s.points[i], s.findings[i] = fs.Picks, fs.Points, fs.Findings
+		s.weights[i] = fs.Weight
+		s.total += fs.Picks
+	}
+	s.refresh()
+	return s, nil
+}
+
+// Policy returns the scheduler's policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
 
 // Names returns the scheduler's families, sorted.
 func (s *Scheduler) Names() []string { return append([]string(nil), s.names...) }
 
-// Pick draws one family name, weight-proportionally, using the caller's
-// RNG (each campaign shard passes its own deterministic stream).
+// Pick draws one family name using the caller's RNG (each campaign shard
+// passes its own deterministic stream). Under PolicyUCB, while any family
+// has never been picked, the draw is uniform over exactly those — forced
+// exploration — and only afterwards score-proportional; under PolicyEMA it
+// is the legacy weight-proportional draw.
 func (s *Scheduler) Pick(rng *rand.Rand) string {
 	if len(s.names) == 1 {
 		return s.names[0]
+	}
+	if len(s.untried) > 0 {
+		return s.names[s.untried[rng.Intn(len(s.untried))]]
 	}
 	total := 0.0
 	for _, w := range s.weights {
@@ -110,43 +238,108 @@ func (s *Scheduler) Pick(rng *rand.Rand) string {
 // WeightOf returns the current sampling weight of one family (0 if the
 // family is not scheduled).
 func (s *Scheduler) WeightOf(name string) float64 {
-	for i, n := range s.names {
-		if n == name {
-			return s.weights[i]
-		}
-	}
-	return 0
+	w, _, _ := s.Probe(name)
+	return w
 }
 
-// Update folds one epoch's merged per-family yield into the weights: an
-// EMA toward each family's points-plus-bonused-findings per pick, clamped
-// to [minWeight, maxWeight]. Families not picked this epoch decay toward
-// the floor, so early losers get re-tried and late bloomers recover.
-// It must only be called at merge barriers (no Pick concurrently).
+// Probe returns one family's current sampling weight, posterior mean yield
+// per pick, and exploration bonus (all zero if the family is not
+// scheduled). Weight is mean+bonus under PolicyUCB; under PolicyEMA the
+// bonus is zero and the weight is the EMA value.
+func (s *Scheduler) Probe(name string) (weight, mean, bonus float64) {
+	for i, n := range s.names {
+		if n == name {
+			return s.weights[i], s.means[i], s.bonuses[i]
+		}
+	}
+	return 0, 0, 0
+}
+
+// Update folds one epoch's merged per-family yield into the cumulative
+// posterior, then refreshes the sampling weights: UCB scores recomputed
+// from the posterior, or the legacy EMA decay-toward-floor. A family absent
+// from the epoch's yield keeps its posterior untouched under PolicyUCB —
+// no evidence, no change (its score can only grow, via the bonus) — which
+// is exactly the decay-on-no-evidence starvation bug PolicyEMA retains for
+// comparison. Update must only be called at merge barriers (no Pick
+// concurrently).
 func (s *Scheduler) Update(yield map[string]Yield) {
 	for i, n := range s.names {
 		y := yield[n]
-		rate := 0.0
-		if y.Picks > 0 {
-			rate = (float64(y.Points) + findingBonus*float64(y.Findings)) / float64(y.Picks)
+		s.picks[i] += y.Picks
+		s.points[i] += y.Points
+		s.findings[i] += y.Findings
+		s.total += y.Picks
+		if s.policy == PolicyEMA {
+			rate := 0.0
+			if y.Picks > 0 {
+				rate = (float64(y.Points) + findingBonus*float64(y.Findings)) / float64(y.Picks)
+			}
+			w := schedAlpha*s.weights[i] + (1-schedAlpha)*rate
+			if w < minWeight {
+				w = minWeight
+			}
+			if w > maxWeight {
+				w = maxWeight
+			}
+			s.weights[i] = w
 		}
-		w := schedAlpha*s.weights[i] + (1-schedAlpha)*rate
-		if w < minWeight {
-			w = minWeight
+	}
+	s.refresh()
+}
+
+// refresh derives means, bonuses, UCB weights and the untried set from the
+// cumulative posterior. It is a pure function of the posterior, which is
+// what makes checkpoint restore byte-identical under PolicyUCB.
+func (s *Scheduler) refresh() {
+	scale := 1.0
+	for i := range s.names {
+		if s.picks[i] == 0 {
+			s.means[i] = 0
+			continue
 		}
-		if w > maxWeight {
-			w = maxWeight
+		s.means[i] = (float64(s.points[i]) + findingBonus*float64(s.findings[i])) / float64(s.picks[i])
+		if s.means[i] > scale {
+			scale = s.means[i]
 		}
-		s.weights[i] = w
+	}
+	if s.policy == PolicyEMA {
+		// EMA owns its weight vector (updated in Update); the posterior only
+		// feeds the reported means.
+		for i := range s.bonuses {
+			s.bonuses[i] = 0
+		}
+		return
+	}
+	logN := math.Log(float64(s.total) + 1)
+	s.untried = s.untried[:0]
+	for i := range s.names {
+		if n := s.picks[i]; n > 0 {
+			s.bonuses[i] = scale * math.Sqrt(ucbExploration*logN/float64(n))
+		} else {
+			// Untried families are picked with absolute priority (see Pick).
+			// The exported bonus is an upper bound on every tried family's
+			// score — mean ≤ scale and bonus ≤ scale*sqrt(2·lnN) there — so
+			// the weight column also reflects that priority.
+			s.untried = append(s.untried, i)
+			s.bonuses[i] = scale * (1 + math.Sqrt(ucbExploration*logN))
+		}
+		s.weights[i] = s.means[i] + s.bonuses[i]
 	}
 }
 
-// Weights exports the scheduler state, sorted by family name (the engine
+// State exports the scheduler state, sorted by family name (the engine
 // checkpoint form).
-func (s *Scheduler) Weights() []Weight {
-	out := make([]Weight, len(s.names))
+func (s *Scheduler) State() []FamilyState {
+	out := make([]FamilyState, len(s.names))
 	for i, n := range s.names {
-		out[i] = Weight{Name: n, Weight: s.weights[i]}
+		out[i] = FamilyState{
+			Name:     n,
+			Picks:    s.picks[i],
+			Points:   s.points[i],
+			Findings: s.findings[i],
+			Weight:   s.weights[i],
+		}
 	}
 	return out
 }

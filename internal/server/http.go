@@ -153,7 +153,8 @@ type wireEvent struct {
 	Total    int    `json:"total"`
 	Coverage int    `json:"coverage"`
 	// Scenarios carries the per-family campaign statistics on epoch frames:
-	// picks, coverage yield, findings and the adaptive sampling weight.
+	// picks, coverage yield, findings, and the scheduler's view of the family
+	// — sampling weight, posterior mean yield and exploration bonus.
 	Scenarios []dejavuzz.ScenarioStat `json:"scenarios,omitempty"`
 	Finding   *dejavuzz.Finding       `json:"finding,omitempty"`
 	Path      string                  `json:"path,omitempty"`

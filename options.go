@@ -56,6 +56,29 @@ func WithScenarios(names ...string) Option {
 	return func(s *settings) { s.opts.Scenarios = append([]string(nil), names...) }
 }
 
+// Scheduler policy names for WithScheduler and the wire "scheduler" key.
+const (
+	// SchedulerUCB is the default scenario-scheduling policy: a
+	// deterministic UCB1 bandit over per-family yield per pick. Every
+	// enabled family is tried before any is exploited and a family's score
+	// never decays without new evidence, so no family ever starves.
+	SchedulerUCB = "ucb"
+	// SchedulerEMA is the legacy EMA-with-floor policy, kept reachable so
+	// the bandit fix is A/B-able (dvz-bench records both). It can starve
+	// families: ones unpicked in an epoch decay toward the floor despite
+	// zero new evidence about them.
+	SchedulerEMA = "ema"
+)
+
+// WithScheduler selects the scenario-scheduler policy: SchedulerUCB (the
+// default) or SchedulerEMA (legacy). The policy is validated by New and is
+// determinism-relevant: like WithScenarios it reshapes the stimulus
+// streams, is recorded in checkpoints, and resuming a checkpoint under a
+// different policy fails with an option-mismatch error naming it.
+func WithScheduler(policy string) Option {
+	return func(s *settings) { s.opts.Scheduler = policy }
+}
+
 // WithVariant selects the training strategy: Derived (DejaVuzz) or
 // RandomTraining (the DejaVuzz* ablation).
 func WithVariant(v Variant) Option {

@@ -43,6 +43,9 @@ func New(target string, opts ...Option) (*Campaign, error) {
 	if err := core.ValidateScenarios(s.opts.Scenarios); err != nil {
 		return nil, fmt.Errorf("dejavuzz: %w", err)
 	}
+	if err := core.ValidateSchedulerPolicy(s.opts.Scheduler); err != nil {
+		return nil, fmt.Errorf("dejavuzz: %w", err)
+	}
 	if s.ckptPath != "" {
 		// Fail the dominant misconfiguration (missing/unwritable checkpoint
 		// directory) here, where there is an error path — autosave failures

@@ -55,6 +55,10 @@ type Options struct {
 	// time, so a misspelled family is rejected at the API boundary instead
 	// of silently running a different campaign.
 	Scenarios []string
+	// Scheduler selects the scenario-scheduling policy: "ucb" (the default
+	// no-starvation bandit) or "ema" (legacy). Validated at decode time,
+	// like Scenarios, and empty means the default.
+	Scheduler string
 	// The ablation toggles, phrased so the zero value is the full fuzzer.
 	NoCoverageFeedback bool
 	NoLiveness         bool
@@ -82,6 +86,7 @@ type wireOptions struct {
 	SecretRetries      int      `json:"secret_retries,omitempty"`
 	Variant            string   `json:"variant,omitempty"`
 	Scenarios          []string `json:"scenarios,omitempty"`
+	Scheduler          string   `json:"scheduler,omitempty"`
 	NoCoverageFeedback bool     `json:"no_coverage_feedback,omitempty"`
 	NoLiveness         bool     `json:"no_liveness,omitempty"`
 	NoReduction        bool     `json:"no_reduction,omitempty"`
@@ -101,6 +106,7 @@ func (o Options) MarshalJSON() ([]byte, error) {
 		SecretRetries:      o.SecretRetries,
 		Variant:            o.Variant,
 		Scenarios:          o.Scenarios,
+		Scheduler:          o.Scheduler,
 		NoCoverageFeedback: o.NoCoverageFeedback,
 		NoLiveness:         o.NoLiveness,
 		NoReduction:        o.NoReduction,
@@ -134,6 +140,9 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 	if err := core.ValidateScenarios(w.Scenarios); err != nil {
 		return fmt.Errorf("dejavuzz: %w", err)
 	}
+	if err := core.ValidateSchedulerPolicy(w.Scheduler); err != nil {
+		return fmt.Errorf("dejavuzz: %w", err)
+	}
 	*o = Options{
 		Target:             w.Target,
 		Workers:            w.Workers,
@@ -143,6 +152,7 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 		SecretRetries:      w.SecretRetries,
 		Variant:            w.Variant,
 		Scenarios:          w.Scenarios,
+		Scheduler:          w.Scheduler,
 		NoCoverageFeedback: w.NoCoverageFeedback,
 		NoLiveness:         w.NoLiveness,
 		NoReduction:        w.NoReduction,
@@ -230,6 +240,9 @@ func (o Options) Functional() ([]Option, error) {
 	}
 	if len(o.Scenarios) > 0 {
 		opts = append(opts, WithScenarios(o.Scenarios...))
+	}
+	if o.Scheduler != "" {
+		opts = append(opts, WithScheduler(o.Scheduler))
 	}
 	if o.NoCoverageFeedback {
 		opts = append(opts, WithCoverageFeedback(false))
