@@ -1,3 +1,8 @@
 module dejavuzz
 
 go 1.24
+
+// Vendored from the copy the Go 1.24 toolchain ships in
+// $GOROOT/src/cmd/vendor (the suite must build offline); only the
+// go/analysis core, the inspect pass and ast/inspector are carried.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,157 @@
+// Package analyzertest is a minimal analysistest: it loads one fixture
+// package from an analyzer's testdata directory, runs the analyzer (and
+// its Requires closure), and checks the diagnostics against `// want`
+// comments.
+//
+// Fixtures live at testdata/src/<pkg>/*.go and may import only the
+// standard library (resolved through the source importer). Expectations
+// are trailing comments on the offending line:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string is a regexp; a line may carry
+// several, and every diagnostic must be matched by exactly one
+// expectation on its line (and vice versa).
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"dejavuzz/internal/analysis/driver"
+)
+
+// Run loads testdata/src/<pkg> relative to the test's working directory
+// and reports every mismatch between the analyzer's diagnostics and the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	fset := token.NewFileSet()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analyzertest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analyzertest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analyzertest: no fixture files in %s", dir)
+	}
+
+	build.Default.CgoEnabled = false
+	info := driver.NewTypesInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("analyzertest: type-check fixture %s: %v", pkg, err)
+	}
+	dp := &driver.Package{PkgPath: pkg, Files: files, Types: tpkg, Info: info, Sizes: conf.Sizes}
+
+	diags, err := driver.Run(fset, []*driver.Package{dp}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyzertest: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		if !matchWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	out := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range wantArgRE.FindAllString(text, -1) {
+					var pat string
+					if raw[0] == '`' {
+						pat = raw[1 : len(raw)-1]
+					} else {
+						unq, err := unquote(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(s string) (string, error) {
+	var out string
+	_, err := fmt.Sscanf(s, "%q", &out)
+	return out, err
+}

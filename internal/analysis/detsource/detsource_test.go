@@ -1,0 +1,21 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"dejavuzz/internal/analysis/analyzertest"
+	"dejavuzz/internal/analysis/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	for flag, val := range map[string]string{
+		"scope":   "*",
+		"seampkg": "detsourcetest",
+		"seams":   "buildRand",
+	} {
+		if err := detsource.Analyzer.Flags.Set(flag, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	analyzertest.Run(t, detsource.Analyzer, "detsourcetest")
+}

@@ -1,0 +1,45 @@
+package detsourcetest
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock in a determinism-relevant package`
+	return time.Since(start) // want `time.Since reads the wall clock in a determinism-relevant package`
+}
+
+func waivedClock() time.Time {
+	//dvz:wallclock measurement only, documented as excluded from byte-identity
+	return time.Now()
+}
+
+func unjustifiedWaiver() time.Time {
+	//dvz:wallclock
+	return time.Now() // want `//dvz:wallclock waiver has no justification`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv reads the process environment in a determinism-relevant package`
+}
+
+func globalRand() int {
+	return rand.Int() // want `rand.Int draws from the global math/rand source`
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand.New constructs an RNG outside the generator seams` `rand.NewSource constructs an RNG outside the generator seams`
+}
+
+// buildRand is configured as a seam in the test: construction is legal here.
+func buildRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an already-derived stream are exactly how deterministic code
+// should look.
+func methodsAreFine(r *rand.Rand) int {
+	return r.Intn(8)
+}

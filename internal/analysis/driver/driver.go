@@ -1,0 +1,291 @@
+// Package driver loads this module's packages and runs go/analysis
+// analyzers over them.
+//
+// It is a deliberately small stand-in for the x/tools multichecker: the
+// standard drivers sit on golang.org/x/tools/go/packages, which shells out
+// to the build system and drags in a dependency tree this repo cannot
+// vendor from the toolchain's own copy of x/tools (only the go/analysis
+// core, the inspect pass and ast/inspector ship in $GOROOT/src/cmd/vendor).
+// This driver instead enumerates module packages with `go list -json`,
+// parses them with go/parser (comments retained — the dvz waiver
+// directives live in comments) and type-checks them with go/types, pulling
+// out-of-module imports (the standard library) through the source
+// importer. That is everything the determinism-lint analyzers need:
+// per-package syntax, full type information, and positions.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	PkgPath string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Sizes   types.Sizes
+}
+
+// A Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// Load enumerates the packages matching patterns (resolved relative to
+// dir) and type-checks them. The returned packages appear in `go list`
+// order; the shared FileSet carries positions for every parsed file.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// The source importer consults go/build; cgo packages cannot be
+	// type-checked from source, so resolve the pure-Go variants of the
+	// standard library (the module itself has no cgo).
+	build.Default.CgoEnabled = false
+
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("driver: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, nil, fmt.Errorf("driver: parse go list output: %v", err)
+		}
+		listed = append(listed, &lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		listed: make(map[string]*listedPackage, len(listed)),
+		loaded: make(map[string]*Package),
+	}
+	for _, lp := range listed {
+		imp.listed[lp.ImportPath] = lp
+	}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := imp.loadModulePackage(lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return fset, pkgs, nil
+}
+
+// moduleImporter resolves module-internal imports by type-checking the
+// listed package from source and defers everything else (the standard
+// library) to the go/importer source importer. Both sides cache, so each
+// package is checked once per Load.
+type moduleImporter struct {
+	fset   *token.FileSet
+	std    types.Importer
+	listed map[string]*listedPackage
+	loaded map[string]*Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if lp, ok := m.listed[path]; ok {
+		p, err := m.loadModulePackage(lp)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+func (m *moduleImporter) loadModulePackage(lp *listedPackage) (*Package, error) {
+	if p, ok := m.loaded[lp.ImportPath]; ok {
+		return p, nil
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(m.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: m, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+	tpkg, err := conf.Check(lp.ImportPath, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-check %s: %v", lp.ImportPath, err)
+	}
+	p := &Package{
+		PkgPath: lp.ImportPath,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Sizes:   conf.Sizes,
+	}
+	m.loaded[lp.ImportPath] = p
+	return p, nil
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consume
+// allocated (shared with the analyzertest harness).
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// Run executes the analyzers (and their Requires closure, in dependency
+// order) over every package and returns the collected diagnostics sorted
+// by position. The determinism analyzers carry no cross-package facts, so
+// the fact plumbing is stubbed out; an analyzer declaring FactTypes is
+// rejected to keep that explicit.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, fmt.Errorf("driver: %v", err)
+	}
+	order, err := topoOrder(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		results := make(map[*analysis.Analyzer]interface{})
+		for _, a := range order {
+			res, ds, err := RunPass(fset, pkg, a, results)
+			if err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			results[a] = res
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// RunPass runs one analyzer over one package, with results holding the
+// outputs of its (already-run) prerequisites. Exposed for the
+// analyzertest harness.
+func RunPass(fset *token.FileSet, pkg *Package, a *analysis.Analyzer, results map[*analysis.Analyzer]interface{}) (interface{}, []Diagnostic, error) {
+	if len(a.FactTypes) > 0 {
+		return nil, nil, fmt.Errorf("analyzer %s declares facts, which this driver does not support", a.Name)
+	}
+	var diags []Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		TypesSizes: pkg.Sizes,
+		ResultOf:   results,
+		Report: func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		},
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.ResultType != nil && res != nil && reflect.TypeOf(res) != a.ResultType {
+		return nil, nil, fmt.Errorf("analyzer %s returned %T, declared %v", a.Name, res, a.ResultType)
+	}
+	return res, diags, nil
+}
+
+// topoOrder expands the Requires closure into a run order where every
+// analyzer follows its prerequisites. analysis.Validate has already
+// rejected cycles.
+func topoOrder(roots []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var order []*analysis.Analyzer
+	seen := make(map[*analysis.Analyzer]bool)
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		order = append(order, a)
+	}
+	for _, a := range roots {
+		visit(a)
+	}
+	return order, nil
+}

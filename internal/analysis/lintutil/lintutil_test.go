@@ -1,0 +1,76 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"dejavuzz/internal/analysis/lintutil"
+)
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		scope, pkg string
+		want       bool
+	}{
+		{"a,b", "a", true},
+		{"a,b", "b", true},
+		{"a,b", "c", false},
+		{"a, b", "b", true},
+		{"*", "anything", true},
+		{"a,*", "anything", true},
+		{"", "a", false},
+		{lintutil.DeterminismScope, "dejavuzz/internal/core", true},
+		{lintutil.DeterminismScope, "dejavuzz/internal/server", false},
+		{lintutil.DeterminismScope, "dejavuzz", true},
+	}
+	for _, c := range cases {
+		if got := lintutil.InScope(c.scope, c.pkg); got != c.want {
+			t.Errorf("InScope(%q, %q) = %v, want %v", c.scope, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	const src = `package p
+
+func f(m map[int]int) {
+	//dvz:ordered reason one
+	for range m {
+	}
+	for range m { //dvz:ordered
+	}
+	//dvz:orderedX not this directive
+	for range m {
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lintutil.Collect(fset, []*ast.File{f}, "ordered")
+
+	var loops []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			loops = append(loops, rs.For)
+		}
+		return true
+	})
+	if len(loops) != 3 {
+		t.Fatalf("found %d range loops, want 3", len(loops))
+	}
+
+	if just, ok := d.At(loops[0]); !ok || just != "reason one" {
+		t.Errorf("loop 0: got (%q, %v), want (\"reason one\", true) from line-above directive", just, ok)
+	}
+	if just, ok := d.At(loops[1]); !ok || just != "" {
+		t.Errorf("loop 1: got (%q, %v), want (\"\", true) from trailing bare directive", just, ok)
+	}
+	if _, ok := d.At(loops[2]); ok {
+		t.Errorf("loop 2: matched //dvz:orderedX, want no waiver")
+	}
+}

@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"dejavuzz/internal/analysis/analyzertest"
+	"dejavuzz/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	if err := mapiter.Analyzer.Flags.Set("scope", "*"); err != nil {
+		t.Fatal(err)
+	}
+	analyzertest.Run(t, mapiter.Analyzer, "mapitertest")
+}

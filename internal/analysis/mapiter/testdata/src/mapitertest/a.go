@@ -1,0 +1,97 @@
+package mapitertest
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+)
+
+// Escapes unsorted: the slice is returned in map visit order.
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map: iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Pure counting is commutative.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Counting behind control flow is still commutative.
+func countIf(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Floating-point accumulation is order-sensitive and must be flagged.
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map: iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// Set insertion into another map is commutative (keys are unique).
+func copyInto(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Append-then-sort: sorted before anything observes the slice.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func send(int) {}
+
+// Waived with a justification: accepted without comment.
+func waived(m map[string]int) {
+	//dvz:ordered delivery order across independent sinks is unobservable
+	for _, ch := range m {
+		send(ch)
+	}
+}
+
+// Waived without a justification: the waiver itself is the finding.
+func unjustified(m map[string]int) {
+	//dvz:ordered
+	for _, ch := range m { // want `//dvz:ordered waiver has no justification`
+		send(ch)
+	}
+}
+
+// Serialization in visit order reshapes checkpoints; no waiver may bless it.
+func leakJSON(m map[string]int) {
+	//dvz:ordered nice try
+	for k := range m { // want `map iteration serializes in visit order and cannot be waived`
+		b, _ := json.Marshal(k)
+		_ = b
+	}
+}
+
+// Feeding an RNG in visit order reshapes the stimulus stream; unwaivable.
+func leakRNG(m map[string]int, r *rand.Rand) {
+	//dvz:ordered nice try
+	for k := range m { // want `map iteration feeds a \*rand.Rand in visit order and cannot be waived`
+		r.Intn(len(k) + 1)
+	}
+}

@@ -1,0 +1,372 @@
+// Package optsync performs struct-field exhaustiveness checks on the two
+// Options types whose field sets gate the engine's resume and wire
+// invariants:
+//
+//   - engine half (core.Options): every field must either be read by the
+//     DiffFrom enumeration (so an option mismatch on resume names the
+//     field) or be listed — with a justification — in the package's
+//     determinism-irrelevant allowlist variable. A field in both, a stale
+//     allowlist entry, or an entry without a justification is an error.
+//     This makes DiffFrom's "options differ in a field DiffFrom does not
+//     enumerate" fallback structurally unreachable: a new field cannot be
+//     added without classifying it.
+//
+//   - wire half (dejavuzz.Options): every field must be referenced by
+//     both MarshalJSON and UnmarshalJSON, every wire-struct field (json
+//     key) must be populated by MarshalJSON and copied out by
+//     UnmarshalJSON, and the key sets the two methods speak must match —
+//     a key marshalled but never unmarshalled would silently drop
+//     configuration at the API boundary.
+package optsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"dejavuzz/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "optsync",
+	Doc:  "check core.Options/DiffFrom and dejavuzz.Options/Marshal/Unmarshal field exhaustiveness",
+	Run:  run,
+}
+
+var (
+	enginePkg string
+	wirePkg   string
+	allowVar  string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&enginePkg, "enginepkg", "dejavuzz/internal/core",
+		"package holding the engine Options with DiffFrom")
+	Analyzer.Flags.StringVar(&wirePkg, "wirepkg", "dejavuzz",
+		"package holding the wire Options with MarshalJSON/UnmarshalJSON")
+	Analyzer.Flags.StringVar(&allowVar, "allowvar", "optionsDeterminismIrrelevant",
+		"name of the determinism-irrelevant field allowlist variable in enginepkg")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// lintutil.InScope keeps the flag syntax uniform with the other
+	// analyzers when tests point the halves at fixture packages.
+	if lintutil.InScope(enginePkg, pass.Pkg.Path()) {
+		checkEngine(pass)
+	}
+	if lintutil.InScope(wirePkg, pass.Pkg.Path()) {
+		checkWire(pass)
+	}
+	return nil, nil
+}
+
+// ---- engine half ----
+
+func checkEngine(pass *analysis.Pass) {
+	st, fields, pos := optionsStruct(pass)
+	if st == nil {
+		pass.Reportf(pos, "optsync: package %s has no Options struct to check", pass.Pkg.Path())
+		return
+	}
+	diff := findMethod(pass, "Options", "DiffFrom")
+	if diff == nil {
+		pass.Reportf(pos, "optsync: %s.Options has no DiffFrom method enumerating its determinism-relevant fields", pass.Pkg.Path())
+		return
+	}
+	enumerated := fieldsReferenced(pass, diff.Body, fields)
+	allow, _ := allowlist(pass)
+
+	names := make(map[string]bool, len(fields))
+	for f := range fields {
+		names[f.Name()] = true
+	}
+	for _, f := range orderedFields(st, fields) {
+		inEnum := enumerated[f]
+		_, inAllow := allow[f.Name()]
+		switch {
+		case inEnum && inAllow:
+			pass.Reportf(f.Pos(), "Options.%s is both enumerated in DiffFrom and allowlisted as determinism-irrelevant; pick one", f.Name())
+		case !inEnum && !inAllow:
+			pass.Reportf(f.Pos(), "Options.%s is neither enumerated in DiffFrom nor listed in %s; classify the new field as determinism-relevant (add it to DiffFrom) or not (allowlist it with a justification)", f.Name(), allowVar)
+		}
+	}
+	for name, entry := range allow {
+		if !names[name] {
+			pass.Reportf(entry.pos, "%s lists %q, which is not a field of Options", allowVar, name)
+		} else if strings.TrimSpace(entry.justification) == "" {
+			pass.Reportf(entry.pos, "%s entry %q has no justification", allowVar, name)
+		}
+	}
+}
+
+type allowEntry struct {
+	justification string
+	pos           token.Pos
+}
+
+// allowlist finds the package-level `var <allowVar> = map[string]string{…}`
+// and returns its entries.
+func allowlist(pass *analysis.Pass) (map[string]allowEntry, token.Pos) {
+	out := make(map[string]allowEntry)
+	var pos token.Pos
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != allowVar || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					pos = name.Pos()
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, kok := constString(pass, kv.Key)
+						val, vok := constString(pass, kv.Value)
+						if !kok {
+							pass.Reportf(kv.Key.Pos(), "%s keys must be constant strings", allowVar)
+							continue
+						}
+						if !vok {
+							val = ""
+						}
+						out[key] = allowEntry{justification: val, pos: kv.Key.Pos()}
+					}
+				}
+			}
+		}
+	}
+	return out, pos
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s := tv.Value.ExactString()
+	if len(s) >= 2 && s[0] == '"' {
+		return s[1 : len(s)-1], true
+	}
+	return s, true
+}
+
+// ---- wire half ----
+
+func checkWire(pass *analysis.Pass) {
+	st, fields, pos := optionsStruct(pass)
+	if st == nil {
+		pass.Reportf(pos, "optsync: package %s has no Options struct to check", pass.Pkg.Path())
+		return
+	}
+	marshal := findMethod(pass, "Options", "MarshalJSON")
+	unmarshal := findMethod(pass, "Options", "UnmarshalJSON")
+	if marshal == nil || unmarshal == nil {
+		pass.Reportf(pos, "optsync: %s.Options must declare both MarshalJSON and UnmarshalJSON", pass.Pkg.Path())
+		return
+	}
+
+	refM := fieldsReferenced(pass, marshal.Body, fields)
+	refU := fieldsReferenced(pass, unmarshal.Body, fields)
+	for _, f := range orderedFields(st, fields) {
+		if !refM[f] {
+			pass.Reportf(f.Pos(), "Options.%s is never written to the wire by MarshalJSON; every field needs a wire key (or an explicit marker convention) in both directions", f.Name())
+		}
+		if !refU[f] {
+			pass.Reportf(f.Pos(), "Options.%s is never decoded from the wire by UnmarshalJSON; every field needs a wire key (or an explicit marker convention) in both directions", f.Name())
+		}
+	}
+
+	wireM := wireStructs(pass, marshal.Body)
+	wireU := wireStructs(pass, unmarshal.Body)
+	keysM := wireKeys(wireM)
+	keysU := wireKeys(wireU)
+	for key, f := range keysM {
+		if _, ok := keysU[key]; !ok {
+			pass.Reportf(f.Pos(), "wire key %q is written by MarshalJSON but UnmarshalJSON accepts no such key; the wire formats have drifted", key)
+		}
+	}
+	for key, f := range keysU {
+		if _, ok := keysM[key]; !ok {
+			pass.Reportf(f.Pos(), "wire key %q is read by UnmarshalJSON but MarshalJSON never writes it; the wire formats have drifted", key)
+		}
+	}
+
+	checkWireUsage(pass, marshal.Body, wireM, "populated by MarshalJSON")
+	checkWireUsage(pass, unmarshal.Body, wireU, "copied out by UnmarshalJSON")
+}
+
+// checkWireUsage reports wire-struct fields the method body never touches
+// — the copy-list drift a shared wire struct cannot catch by key parity.
+func checkWireUsage(pass *analysis.Pass, body *ast.BlockStmt, wire []*types.Struct, what string) {
+	fields := make(map[*types.Var]bool)
+	for _, st := range wire {
+		for i := 0; i < st.NumFields(); i++ {
+			if key, ok := jsonKey(st, i); ok && key != "" {
+				fields[st.Field(i)] = true
+			}
+		}
+	}
+	ref := fieldsReferenced(pass, body, fields)
+	for _, st := range wire {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !fields[f] || ref[f] {
+				continue
+			}
+			key, _ := jsonKey(st, i)
+			pass.Reportf(f.Pos(), "wire field %s (key %q) is never %s; the wire struct and the copy code have drifted", f.Name(), key, what)
+		}
+	}
+}
+
+// wireStructs returns the named struct types with json-tagged fields the
+// body references — the JSON shapes the method speaks.
+func wireStructs(pass *analysis.Pass, body *ast.BlockStmt) []*types.Struct {
+	seen := make(map[*types.Struct]bool)
+	var out []*types.Struct
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName)
+		if !ok {
+			return true
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || seen[st] || !hasJSONTag(st) {
+			return true
+		}
+		seen[st] = true
+		out = append(out, st)
+		return true
+	})
+	return out
+}
+
+func hasJSONTag(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if reflect.StructTag(st.Tag(i)).Get("json") != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonKey returns the wire key of field i, or ok=false for `json:"-"`.
+func jsonKey(st *types.Struct, i int) (string, bool) {
+	tag := reflect.StructTag(st.Tag(i)).Get("json")
+	name, _, _ := strings.Cut(tag, ",")
+	switch name {
+	case "-":
+		return "", false
+	case "":
+		return st.Field(i).Name(), true
+	}
+	return name, true
+}
+
+// wireKeys maps every json key of the wire structs to its field.
+func wireKeys(wire []*types.Struct) map[string]*types.Var {
+	out := make(map[string]*types.Var)
+	for _, st := range wire {
+		for i := 0; i < st.NumFields(); i++ {
+			if key, ok := jsonKey(st, i); ok {
+				out[key] = st.Field(i)
+			}
+		}
+	}
+	return out
+}
+
+// ---- shared helpers ----
+
+// optionsStruct finds the package's Options struct and its field objects.
+func optionsStruct(pass *analysis.Pass) (*types.Struct, map[*types.Var]bool, token.Pos) {
+	pos := token.NoPos
+	if len(pass.Files) > 0 {
+		pos = pass.Files[0].Name.Pos()
+	}
+	obj, ok := pass.Pkg.Scope().Lookup("Options").(*types.TypeName)
+	if !ok {
+		return nil, nil, pos
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, pos
+	}
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	return st, fields, obj.Pos()
+}
+
+// orderedFields returns the struct's fields in declaration order
+// (deterministic diagnostics).
+func orderedFields(st *types.Struct, fields map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(fields))
+	for i := 0; i < st.NumFields(); i++ {
+		if fields[st.Field(i)] {
+			out = append(out, st.Field(i))
+		}
+	}
+	return out
+}
+
+// findMethod locates the declaration of a method on the named type (value
+// or pointer receiver).
+func findMethod(pass *analysis.Pass, typeName, method string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if se, ok := t.(*ast.StarExpr); ok {
+				t = se.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsReferenced walks a body and returns which of the given field
+// objects it mentions — selector reads/writes and keyed composite-literal
+// keys both resolve to the field object in the Uses map.
+func fieldsReferenced(pass *analysis.Pass, body *ast.BlockStmt, fields map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && fields[v] {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,27 @@
+package optenginetest
+
+type Options struct {
+	Seed    int64
+	Workers int
+	Both    string // want `Options.Both is both enumerated in DiffFrom and allowlisted as determinism-irrelevant`
+	Stray   bool   // want `Options.Stray is neither enumerated in DiffFrom nor listed in optionsDeterminismIrrelevant`
+	NoWhy   int
+}
+
+var optionsDeterminismIrrelevant = map[string]string{
+	"Workers": "parallelism only; shards are the determinism unit",
+	"Both":    "also enumerated above, which is the drift under test",
+	"Ghost":   "no such field", // want `optionsDeterminismIrrelevant lists "Ghost", which is not a field of Options`
+	"NoWhy":   "",              // want `optionsDeterminismIrrelevant entry "NoWhy" has no justification`
+}
+
+func (o Options) DiffFrom(other Options) []string {
+	var diffs []string
+	if o.Seed != other.Seed {
+		diffs = append(diffs, "Seed")
+	}
+	if o.Both != other.Both {
+		diffs = append(diffs, "Both")
+	}
+	return diffs
+}

@@ -1,0 +1,36 @@
+package optwiretest
+
+import "encoding/json"
+
+type Options struct {
+	A       string
+	B       int
+	Missing bool // want `Options.Missing is never written to the wire by MarshalJSON`
+}
+
+type wireOut struct {
+	A     string `json:"a"`
+	B     int    `json:"b"`
+	Extra string `json:"extra"` // want `wire key "extra" is written by MarshalJSON but UnmarshalJSON accepts no such key`
+}
+
+type wireIn struct {
+	A    string `json:"a"`
+	B    int    `json:"b"`
+	Dead string `json:"dead"` // want `wire key "dead" is read by UnmarshalJSON but MarshalJSON never writes it` `wire field Dead \(key "dead"\) is never copied out by UnmarshalJSON`
+}
+
+func (o Options) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireOut{A: o.A, B: o.B, Extra: "x"})
+}
+
+func (o *Options) UnmarshalJSON(b []byte) error {
+	var w wireIn
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	o.A = w.A
+	o.B = w.B
+	o.Missing = false
+	return nil
+}

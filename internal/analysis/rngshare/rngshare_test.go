@@ -1,0 +1,20 @@
+package rngshare_test
+
+import (
+	"testing"
+
+	"dejavuzz/internal/analysis/analyzertest"
+	"dejavuzz/internal/analysis/rngshare"
+)
+
+func TestRngshare(t *testing.T) {
+	for flag, val := range map[string]string{
+		"scope":  "*",
+		"rngpkg": "othergen",
+	} {
+		if err := rngshare.Analyzer.Flags.Set(flag, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	analyzertest.Run(t, rngshare.Analyzer, "rngsharetest")
+}

@@ -1,0 +1,37 @@
+package rngsharetest
+
+import "math/rand"
+
+type shard struct {
+	rng *rand.Rand // want `struct field stores a rand.Rand outside othergen`
+}
+
+type waivedShard struct {
+	//dvz:shardlocal owned by exactly one shard goroutine for its whole lifetime
+	rng *rand.Rand
+}
+
+type unjustifiedShard struct {
+	//dvz:shardlocal
+	rng *rand.Rand // want `//dvz:shardlocal waiver has no justification`
+}
+
+func worker(r *rand.Rand) { _ = r }
+
+func spawnArg(r *rand.Rand) {
+	go worker(r) // want `\*rand.Rand passed to a goroutine`
+}
+
+func spawnCapture(r *rand.Rand) {
+	go func() {
+		_ = r.Intn(3) // want `goroutine closure captures \*rand.Rand "r"`
+	}()
+}
+
+// A stream derived inside the goroutine never crosses the boundary.
+func declaredInside() {
+	go func() {
+		r := rand.New(rand.NewSource(1))
+		_ = r.Intn(3)
+	}()
+}

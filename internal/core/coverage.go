@@ -107,6 +107,7 @@ func (c *Coverage) Absorb(d *Delta) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	added := 0
+	//dvz:ordered commutative: set insertion plus a count of globally-new keys; d's keys are unique, so no insert can change a later membership test
 	for k := range d.points {
 		if _, ok := c.points[k]; !ok {
 			c.points[k] = struct{}{}

@@ -175,6 +175,20 @@ func (o Options) EquivalentTo(other Options) bool {
 	return reflect.DeepEqual(a, b)
 }
 
+// optionsDeterminismIrrelevant names the Options fields DiffFrom
+// deliberately does not enumerate, with the reason each one cannot change
+// campaign results. dvz-vet's optsync analyzer checks that every Options
+// field is either read by DiffFrom or listed here — adding a field
+// without classifying it fails the lint — and that this set never drifts
+// to include a field DiffFrom also enumerates. Keep it in lockstep with
+// the fields EquivalentTo strips.
+var optionsDeterminismIrrelevant = map[string]string{
+	"Workers":       "OS-level parallelism only; shards are the determinism unit and results are identical for any Workers value",
+	"FreshContexts": "reference mode for the reset-equivalence suite; reset is proven equivalent to fresh construction, so results never change",
+	"OnEpoch":       "observation hook invoked at deterministic barrier points; it receives results, it cannot shape them",
+	"OnBarrier":     "observation hook invoked at deterministic barrier points; it receives results, it cannot shape them",
+}
+
 // DiffFrom describes, field by field, how two option sets differ in their
 // determinism-relevant fields — the human-readable half of the
 // option-mismatch invalidation path, so a refused checkpoint resume names
@@ -203,9 +217,11 @@ func (o Options) DiffFrom(other Options) []string {
 	add("reduction", a.UseReduction, b.UseReduction)
 	add("bugless", a.Bugless, b.Bugless)
 	add("secret_retries", a.SecretRetries, b.SecretRetries)
-	// EquivalentTo compares whole structs via DeepEqual, so a mismatch in a
-	// field this enumeration has not caught up with yet must still surface
-	// instead of rendering as an empty diff.
+	// Structurally unreachable: dvz-vet's optsync analyzer forces every
+	// Options field into either the enumeration above or
+	// optionsDeterminismIrrelevant (exactly the fields EquivalentTo
+	// strips), so EquivalentTo and this enumeration cannot disagree. Kept
+	// as a defence against running a stale binary over a newer checkpoint.
 	if len(diffs) == 0 && !o.EquivalentTo(other) {
 		diffs = append(diffs, "options differ in a field DiffFrom does not enumerate")
 	}
@@ -776,7 +792,7 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 		panic("core: Fuzzer.Run called twice (a Fuzzer executes at most one campaign; build a fresh one)")
 	}
 	f.started = true
-	start := time.Now()
+	start := time.Now() //dvz:wallclock Report.Duration/FirstBug are measurement-only and documented as excluded from byte-identity
 	n := f.opts.Iterations
 	mergeEvery := f.opts.MergeEvery
 	numShards := f.opts.Shards
@@ -936,6 +952,7 @@ func (f *Fuzzer) finalize(start time.Time) *Report {
 		rep.Sims += f.iters[i].Sims
 		if f.iters[i].Finding && firstBug == 0 {
 			// Approximate time-to-first-bug by proportion of wall time.
+			//dvz:wallclock Report.FirstBug is measurement-only and documented as excluded from byte-identity
 			firstBug = time.Duration(float64(time.Since(start)) * float64(i+1) / float64(n))
 		}
 	}
@@ -947,7 +964,7 @@ func (f *Fuzzer) finalize(start time.Time) *Report {
 	rep.Iters = f.iters
 	rep.Scenarios = f.scenarioStats()
 	rep.Coverage = f.coverage.Count()
-	rep.Duration = time.Since(start)
+	rep.Duration = time.Since(start) //dvz:wallclock Report.Duration is measurement-only and documented as excluded from byte-identity
 	rep.FirstBug = firstBug
 	return rep
 }

