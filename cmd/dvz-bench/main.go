@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"dejavuzz"
+	"dejavuzz/internal/corpus"
+	"dejavuzz/internal/gen"
 	"dejavuzz/internal/triage"
 )
 
@@ -80,6 +82,36 @@ type Result struct {
 	Scheduler    string          `json:"scheduler"`
 	Scenarios    []ScenarioBench `json:"scenarios"`
 	ScenariosEMA []ScenarioBench `json:"scenarios_ema"`
+	// WarmStart is the cross-campaign warm-start A/B: the main run's barrier
+	// harvest is folded into a corpus store, a second campaign (different
+	// seed) runs once cold and once warm-started from that corpus, and each
+	// row records how fast it reached the first campaign's final coverage.
+	WarmStart *WarmStartBench `json:"warm_start,omitempty"`
+}
+
+// WarmStartBench is the warm-vs-cold comparison block.
+type WarmStartBench struct {
+	// CoverageTarget is the coverage-N goal both rows race to: the main
+	// (seed-donor) campaign's final coverage.
+	CoverageTarget int `json:"coverage_target"`
+	// Snapshot/WarmSeeds/PriorFamilies describe the resolved warm-start set.
+	Snapshot      string    `json:"snapshot"`
+	WarmSeeds     int       `json:"warm_seeds"`
+	PriorFamilies int       `json:"prior_families"`
+	Rows          []WarmRow `json:"rows"`
+}
+
+// WarmRow is one warm-start A/B row ("cold" or "warm").
+type WarmRow struct {
+	Mode string `json:"mode"`
+	// TimeToCoverageNMS is wall-clock from campaign start to the first merge
+	// barrier at or above the coverage target (-1 when the campaign never
+	// got there); ItersToCoverageN is the same probe in iterations — the
+	// deterministic, machine-independent form of the comparison.
+	TimeToCoverageNMS float64 `json:"time_to_coverage_n_ms"`
+	ItersToCoverageN  int     `json:"iters_to_coverage_n"`
+	FinalCoverage     int     `json:"final_coverage"`
+	Findings          int     `json:"findings"`
 }
 
 // ScenarioBench is one scenario family's benchmark row.
@@ -114,6 +146,17 @@ type runResult struct {
 	allocsPerIter  float64
 	bytesPerIter   float64
 	firstFindingMS map[string]float64
+	// harvest accumulates every barrier's corpus-worthy seeds; epochs is the
+	// per-barrier (wall-clock ms, iterations done, coverage) timeline.
+	harvest []dejavuzz.HarvestedSeed
+	epochs  []epochProbe
+}
+
+// epochProbe is one merge barrier's progress sample.
+type epochProbe struct {
+	ms       float64
+	done     int
+	coverage int
 }
 
 // run executes one campaign as a streaming session and reports throughput
@@ -124,7 +167,7 @@ type runResult struct {
 // it leaves a merge barrier — real wall-clock accounting, replacing the old
 // prorated estimate that misattributed time across families whose
 // per-iteration costs differ several-fold.
-func run(target string, seed int64, n, workers int, freshContexts bool, policy string) (*runResult, error) {
+func run(target string, seed int64, n, workers int, freshContexts bool, policy string, extra ...dejavuzz.Option) (*runResult, error) {
 	opts := []dejavuzz.Option{
 		dejavuzz.WithSeed(seed),
 		dejavuzz.WithIterations(n),
@@ -135,6 +178,7 @@ func run(target string, seed int64, n, workers int, freshContexts bool, policy s
 	if policy != "" {
 		opts = append(opts, dejavuzz.WithScheduler(policy))
 	}
+	opts = append(opts, extra...)
 	c, err := dejavuzz.New(target, opts...)
 	if err != nil {
 		return nil, err
@@ -148,12 +192,22 @@ func run(target string, seed int64, n, workers int, freshContexts bool, policy s
 		return nil, err
 	}
 	first := map[string]float64{}
+	var harvest []dejavuzz.HarvestedSeed
+	var epochs []epochProbe
 	for ev := range session.Events() {
-		if ev.Kind == dejavuzz.EventFinding {
+		switch ev.Kind {
+		case dejavuzz.EventFinding:
 			name := ev.Finding.ScenarioName()
 			if _, ok := first[name]; !ok {
 				first[name] = float64(time.Since(start).Microseconds()) / 1000.0
 			}
+		case dejavuzz.EventEpoch:
+			harvest = append(harvest, ev.Harvest...)
+			epochs = append(epochs, epochProbe{
+				ms:       float64(time.Since(start).Microseconds()) / 1000.0,
+				done:     ev.Done,
+				coverage: ev.Coverage,
+			})
 		}
 	}
 	rep, err := session.Wait()
@@ -168,6 +222,74 @@ func run(target string, seed int64, n, workers int, freshContexts bool, policy s
 		allocsPerIter:  float64(after.Mallocs-before.Mallocs) / float64(n),
 		bytesPerIter:   float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 		firstFindingMS: first,
+		harvest:        harvest,
+		epochs:         epochs,
+	}, nil
+}
+
+// warmRow probes a run's epoch timeline for the first barrier at or above
+// the coverage target.
+func warmRow(mode string, r *runResult, targetCov int) WarmRow {
+	row := WarmRow{
+		Mode:              mode,
+		TimeToCoverageNMS: -1,
+		ItersToCoverageN:  -1,
+		FinalCoverage:     r.rep.Coverage,
+		Findings:          len(r.rep.Findings),
+	}
+	for _, p := range r.epochs {
+		if p.coverage >= targetCov {
+			row.TimeToCoverageNMS = p.ms
+			row.ItersToCoverageN = p.done
+			break
+		}
+	}
+	return row
+}
+
+// benchWarmStart runs the cross-campaign warm-start A/B: fold the donor
+// run's harvest into a throwaway corpus store, resolve a warm-start set for
+// a second campaign seed, then race that campaign cold vs warm to the
+// donor's final coverage.
+func benchWarmStart(target string, donor *runResult, donorCampaignSeed, seed int64, n int) (*WarmStartBench, error) {
+	dir, err := os.MkdirTemp("", "dvz-bench-corpus-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := corpus.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	fp := corpus.Fingerprint(target, gen.VariantDerived, false)
+	if _, err := store.Harvest(fmt.Sprintf("bench-donor-%d", donorCampaignSeed), target, fp, donor.harvest); err != nil {
+		return nil, err
+	}
+	ws := store.WarmStart(target, fp, dejavuzz.Scenarios(), seed, 0)
+
+	cold, err := run(target, seed, n, 1, false, "")
+	if err != nil {
+		return nil, err
+	}
+	warm, err := run(target, seed, n, 1, false, "", dejavuzz.WithWarmStart(dejavuzz.WarmStart{
+		Snapshot: ws.Snapshot,
+		Seeds:    ws.Seeds,
+		Prior:    ws.Prior,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	targetCov := donor.rep.Coverage
+	return &WarmStartBench{
+		CoverageTarget: targetCov,
+		Snapshot:       ws.Snapshot,
+		WarmSeeds:      len(ws.Seeds),
+		PriorFamilies:  len(ws.Prior),
+		Rows: []WarmRow{
+			warmRow("cold", cold, targetCov),
+			warmRow("warm", warm, targetCov),
+		},
 	}, nil
 }
 
@@ -338,6 +460,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The warm-start A/B: a second campaign (different seed) races to the
+	// main run's final coverage, cold vs warm-started from its harvest.
+	res.WarmStart, err = benchWarmStart(*target, r1, *seed, *seed+1, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	data, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -349,4 +479,8 @@ func main() {
 	}
 	fmt.Printf("wrote %s: workers1=%.1f iters/s workers8=%.1f iters/s (%.2fx), %.0f allocs/iter (fresh: %.0f, %.1fx reduction), coverage=%d, triage=%.0f findings/s -> %d bugs\n",
 		*out, res.Workers1, res.Workers8, res.Speedup, res.AllocsPerIter, res.FreshAllocsPerIter, res.AllocReduction, rep1.Coverage, res.TriageFindingsPerSec, res.TriagedBugs)
+	for _, row := range res.WarmStart.Rows {
+		fmt.Printf("warm-start %s: coverage %d reached at iter %d (%.1f ms); final coverage %d\n",
+			row.Mode, res.WarmStart.CoverageTarget, row.ItersToCoverageN, row.TimeToCoverageNMS, row.FinalCoverage)
+	}
 }

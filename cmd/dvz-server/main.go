@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	dvz-server [-addr :8471] [-state dvz-state] [-workers N]
+//	dvz-server [-addr :8471] [-state dvz-state] [-workers N] [-minimize=false]
 //
 // All state lives under the -state directory: the campaign registry,
-// per-campaign barrier checkpoints, final reports, and the triaged findings
-// store. On SIGTERM/SIGINT the server checkpoints every active campaign at
-// its next merge barrier before exiting; the next start with the same
-// -state resumes them automatically, byte-identically (modulo wall-clock
-// fields) to an uninterrupted run.
+// per-campaign barrier checkpoints, final reports, the triaged findings
+// store, and the persistent cross-campaign corpus (harvested seeds plus
+// their coverage-frontier statistics, served at /corpus). On SIGTERM/SIGINT
+// the server checkpoints every active campaign at its next merge barrier
+// before exiting; the next start with the same -state resumes them
+// automatically, byte-identically (modulo wall-clock fields) to an
+// uninterrupted run — and new campaigns created with "warm_start": true
+// seed themselves from everything earlier campaigns harvested.
 //
 // See the README's "Running as a service" section for curl examples of
 // every endpoint.
@@ -36,12 +39,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8471", "HTTP listen address")
-	state := flag.String("state", "dvz-state", "state directory (registry, checkpoints, reports, findings)")
+	state := flag.String("state", "dvz-state", "state directory (registry, checkpoints, reports, findings, corpus)")
 	workers := flag.Int("workers", runtime.NumCPU(), "shared worker budget across all campaigns")
+	minimize := flag.Bool("minimize", true, "run the background corpus minimizer (training reduction off the campaign hot path)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dvz-server: ", log.LstdFlags)
-	srv, err := server.Open(server.Config{StateDir: *state, Workers: *workers, Log: logger})
+	srv, err := server.Open(server.Config{StateDir: *state, Workers: *workers, MinimizeCorpus: *minimize, Log: logger})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -67,6 +67,21 @@ const (
 // Finding is a reported potential transient-execution vulnerability.
 type Finding = core.Finding
 
+// Seed is one structured stimulus specification — the unit of the corpus
+// and of warm-start sets. Findings carry the Seed that produced them, and
+// dvz-server's corpus store persists Seeds across campaigns.
+type Seed = gen.Seed
+
+// HarvestedSeed is one corpus-worthy seed surfaced at a merge barrier: a
+// coverage-feedback keeper or finding producer together with its evidence.
+// Epoch events carry the barrier's harvest in iteration order.
+type HarvestedSeed = core.HarvestedSeed
+
+// FamilyPrior is one scenario family's cross-campaign frontier evidence
+// (picks, coverage points, findings), injected into a fresh campaign's
+// scenario scheduler by WithWarmStart.
+type FamilyPrior = scenario.Prior
+
 // Report is the result of a fuzzing campaign.
 type Report = core.Report
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"reflect"
 	"sort"
 	"strings"
@@ -80,6 +82,29 @@ type Options struct {
 	// region makes retrying cheap: only the secret is reloaded.
 	SecretRetries int
 
+	// CorpusSnapshot identifies the cross-campaign corpus snapshot the
+	// campaign was warm-started from (empty for a cold start). The engine
+	// never dereferences it — WarmSeeds and FrontierPrior carry the resolved
+	// content — but it is determinism-relevant bookkeeping: the warm-start
+	// set is a pure function of (snapshot ID, campaign seed), so the ID is
+	// serialised into checkpoints and a resume under a different snapshot
+	// fails with an option-mismatch error naming corpus_snapshot.
+	CorpusSnapshot string
+	// WarmSeeds is the warm-start seed set harvested from earlier campaigns
+	// on the same target: each seed becomes part of the initial merged
+	// corpus (so coverage-feedback mutation works from it immediately) and
+	// is replayed verbatim once by its owning shard before that shard draws
+	// fresh stimuli. The set is determinism-relevant — it reshapes the
+	// stimulus streams — and is serialised into checkpoints with the rest
+	// of the options.
+	WarmSeeds []gen.Seed
+	// FrontierPrior seeds the scenario scheduler's posterior with
+	// per-family frontier statistics from the corpus store, so a
+	// warm-started campaign begins exploiting what earlier campaigns
+	// learned about family yield. Like WarmSeeds it is determinism-relevant
+	// and checkpointed.
+	FrontierPrior []scenario.Prior
+
 	// FreshContexts disables per-shard execution-context reuse: every
 	// simulation rebuilds its DUT state (address space, core model, swap
 	// runtime) from scratch instead of resetting the shard's long-lived
@@ -123,6 +148,14 @@ func (o Options) Normalized() Options {
 	if o.Scheduler == "" {
 		o.Scheduler = string(scenario.DefaultPolicy)
 	}
+	// Empty warm-start slices collapse to nil so a cold campaign and a
+	// "warm" campaign that resolved zero seeds compare EquivalentTo.
+	if len(o.WarmSeeds) == 0 {
+		o.WarmSeeds = nil
+	}
+	if len(o.FrontierPrior) == 0 {
+		o.FrontierPrior = nil
+	}
 	return o
 }
 
@@ -159,6 +192,30 @@ func ValidateScenarios(names []string) error {
 func ValidateSchedulerPolicy(name string) error {
 	_, err := scenario.ParsePolicy(name)
 	return err
+}
+
+// ValidateWarmStart checks a warm-start seed set and frontier prior
+// against a campaign's enabled scenario families: every warm seed's family
+// and every prior row must belong to the enabled set, or the campaign's
+// statistics and scheduling would silently track families it cannot
+// sample. The warm-start resolver filters by family before building
+// options, so a violation here means caller drift, not user error.
+func ValidateWarmStart(seeds []gen.Seed, prior []scenario.Prior, families []string) error {
+	enabled := make(map[string]bool, len(families))
+	for _, f := range families {
+		enabled[f] = true
+	}
+	for i, sd := range seeds {
+		if fam := gen.ScenarioName(sd); !enabled[fam] {
+			return fmt.Errorf("warm seed %d has scenario family %q outside the campaign's enabled set", i, fam)
+		}
+	}
+	for _, p := range prior {
+		if !enabled[p.Name] {
+			return fmt.Errorf("frontier prior names family %q outside the campaign's enabled set", p.Name)
+		}
+	}
+	return nil
 }
 
 // EquivalentTo reports whether two option sets are determinism-equivalent:
@@ -217,6 +274,9 @@ func (o Options) DiffFrom(other Options) []string {
 	add("reduction", a.UseReduction, b.UseReduction)
 	add("bugless", a.Bugless, b.Bugless)
 	add("secret_retries", a.SecretRetries, b.SecretRetries)
+	add("corpus_snapshot", snapshotIDString(a.CorpusSnapshot), snapshotIDString(b.CorpusSnapshot))
+	add("warm_seeds", warmSeedsDigest(a.WarmSeeds), warmSeedsDigest(b.WarmSeeds))
+	add("frontier_prior", frontierPriorDigest(a.FrontierPrior), frontierPriorDigest(b.FrontierPrior))
 	// Structurally unreachable: dvz-vet's optsync analyzer forces every
 	// Options field into either the enumeration above or
 	// optionsDeterminismIrrelevant (exactly the fields EquivalentTo
@@ -233,6 +293,46 @@ func scenarioSetString(s []string) string {
 		return "all"
 	}
 	return strings.Join(s, ",")
+}
+
+func snapshotIDString(id string) string {
+	if id == "" {
+		return "cold"
+	}
+	return id
+}
+
+// warmSeedsDigest compresses a warm-start seed set into a short,
+// deterministic description so DiffFrom's option-mismatch message stays
+// readable (the set itself can be dozens of structured seeds). The digest
+// is a pure function of the seeds' JSON form, so any content difference
+// surfaces.
+func warmSeedsDigest(seeds []gen.Seed) string {
+	if len(seeds) == 0 {
+		return "none"
+	}
+	enc, err := json.Marshal(seeds)
+	if err != nil {
+		return fmt.Sprintf("%d seeds (unencodable: %v)", len(seeds), err)
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	return fmt.Sprintf("%d seeds (digest %016x)", len(seeds), h.Sum64())
+}
+
+// frontierPriorDigest is warmSeedsDigest's analogue for the scheduler
+// prior.
+func frontierPriorDigest(prior []scenario.Prior) string {
+	if len(prior) == 0 {
+		return "none"
+	}
+	enc, err := json.Marshal(prior)
+	if err != nil {
+		return fmt.Sprintf("%d families (unencodable: %v)", len(prior), err)
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	return fmt.Sprintf("%d families (digest %016x)", len(prior), h.Sum64())
 }
 
 // DefaultOptions returns the standard DejaVuzz configuration.
@@ -348,6 +448,11 @@ type ShardState struct {
 	AvgGain   float64 `json:"avg_gain"`
 	GainCount int     `json:"gain_count"`
 	PickCount int     `json:"pick_count"`
+	// WarmConsumed counts how many of the shard's warm-start replay seeds
+	// have been consumed (0 on cold campaigns). Warm replay can straddle a
+	// merge barrier when seeds outnumber the shard's picks per epoch, so
+	// the cursor is part of the resumable state.
+	WarmConsumed int `json:"warm_consumed,omitempty"`
 }
 
 // EngineStateVersion guards the checkpoint format against drift between
@@ -429,6 +534,24 @@ func (st *EngineState) Migrate() error {
 	return fmt.Errorf("core: engine state version %d, want %d", st.Version, EngineStateVersion)
 }
 
+// HarvestedSeed is one corpus-worthy stimulus surfaced at a merge
+// barrier: a seed the epoch found interesting — it beat its shard's
+// average coverage gain (the corpus-keep rule) or produced a finding —
+// together with the evidence. Barriers expose the epoch's harvest so a
+// corpus service can persist interesting seeds across campaigns without
+// the engine knowing the store exists.
+type HarvestedSeed struct {
+	// Iteration is the campaign iteration that produced the observation;
+	// (campaign, iteration) is the store's idempotency key, so replaying a
+	// barrier after an unclean restart cannot double-count.
+	Iteration int      `json:"iteration"`
+	Seed      gen.Seed `json:"seed"`
+	// NewPoints is the iteration's shard-local coverage gain.
+	NewPoints int `json:"new_points"`
+	// Finding marks observations that produced a finding.
+	Finding bool `json:"finding"`
+}
+
 // Barrier is the payload of one merge-barrier event.
 type Barrier struct {
 	// Epoch is the barrier's ordinal since campaign start (resume keeps
@@ -443,6 +566,12 @@ type Barrier struct {
 	// Scenarios are the cumulative per-family statistics after this
 	// barrier's scheduler update, sorted by name.
 	Scenarios []ScenarioStat
+	// Harvest is the epoch's corpus-worthy seeds in iteration order:
+	// coverage-feedback keepers and finding producers (see HarvestedSeed).
+	// It is event payload only — not part of the resumable state — so a
+	// corpus consumer must tolerate replays, which the (campaign,
+	// iteration) idempotency key provides.
+	Harvest []HarvestedSeed
 
 	snapshot func() *EngineState
 }
@@ -506,7 +635,13 @@ func NewFuzzer(opts Options) *Fuzzer {
 	if err != nil {
 		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
 	}
-	sched, err := scenario.NewScheduler(families, policy)
+	if err := ValidateWarmStart(opts.WarmSeeds, opts.FrontierPrior, families); err != nil {
+		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
+	}
+	// A frontier prior seeds a fresh scheduler's posterior; checkpoint
+	// resume overwrites the scheduler wholesale (the checkpointed posterior
+	// already contains the prior), so this only shapes campaign starts.
+	sched, err := scenario.NewSchedulerWithPrior(families, policy, opts.FrontierPrior)
 	if err != nil {
 		panic(fmt.Sprintf("core: NewFuzzer: %v", err))
 	}
@@ -529,6 +664,20 @@ func NewFuzzer(opts Options) *Fuzzer {
 		// Every shard owns a pipeline instance — and through it a private
 		// execution context — for the campaign's whole lifetime.
 		f.shards[i] = &shard{f: f, id: i, pipe: f.pipeline.NewShard()}
+	}
+	// Warm start: the resolved seed set becomes the initial merged corpus
+	// (so coverage-feedback mutation works from it in epoch 0) and is dealt
+	// round-robin to the shards for one verbatim replay each — replaying a
+	// proven seed re-establishes its coverage points directly instead of
+	// waiting for a lucky mutation. Both effects are pure functions of the
+	// options, so worker-count independence and resume byte-identity hold
+	// unchanged.
+	if len(opts.WarmSeeds) > 0 {
+		f.corpus = append([]gen.Seed(nil), opts.WarmSeeds...)
+		for j, sd := range opts.WarmSeeds {
+			s := f.shards[j%opts.Shards]
+			s.warm = append(s.warm, sd)
+		}
 	}
 	f.iters = make([]IterStat, opts.Iterations)
 	return f
@@ -599,6 +748,11 @@ func NewFuzzerFromState(st *EngineState, opts Options) (*Fuzzer, error) {
 		s.avgGain = st.Shards[i].AvgGain
 		s.gainCount = st.Shards[i].GainCount
 		s.pickCount = st.Shards[i].PickCount
+		if wc := st.Shards[i].WarmConsumed; wc < 0 || wc > len(s.warm) {
+			return nil, fmt.Errorf("core: engine state shard %d consumed %d of %d warm seeds",
+				i, wc, len(s.warm))
+		}
+		s.warmNext = st.Shards[i].WarmConsumed
 	}
 	// Restore the scheduler exactly as it was at the barrier: the next
 	// epoch's family picks depend on its posterior (UCB) or weights (EMA),
@@ -644,7 +798,12 @@ func (f *Fuzzer) snapshot(nextIter, nextEpoch int) *EngineState {
 	st.Options.OnEpoch = nil
 	st.Options.OnBarrier = nil
 	for i, s := range f.shards {
-		st.Shards[i] = ShardState{AvgGain: s.avgGain, GainCount: s.gainCount, PickCount: s.pickCount}
+		st.Shards[i] = ShardState{
+			AvgGain:      s.avgGain,
+			GainCount:    s.gainCount,
+			PickCount:    s.pickCount,
+			WarmConsumed: s.warmNext,
+		}
 	}
 	return st
 }
@@ -704,16 +863,33 @@ type shard struct {
 	newSeeds []gen.Seed // local appends this epoch, merged at the barrier
 	cov      *Delta
 
+	// warm is the shard's slice of the campaign's warm-start seeds, each
+	// replayed verbatim once before the shard draws fresh stimuli; warmNext
+	// is the replay cursor (checkpointed as ShardState.WarmConsumed).
+	warm     []gen.Seed
+	warmNext int
+
 	avgGain   float64
 	gainCount int
 	pickCount int
-	findings  []Finding // this epoch's findings, merged at the barrier
-	deadSinks int       // this epoch's dead-sink count, merged at the barrier
+	findings  []Finding       // this epoch's findings, merged at the barrier
+	deadSinks int             // this epoch's dead-sink count, merged at the barrier
+	harvest   []HarvestedSeed // this epoch's corpus-worthy seeds, merged at the barrier
 }
 
-// nextSeed picks the next seed: mutate a corpus member (coverage feedback)
-// or draw a fresh one.
+// nextSeed picks the next seed: replay a pending warm-start seed
+// verbatim, mutate a corpus member (coverage feedback) or draw a fresh
+// one.
 func (s *shard) nextSeed() gen.Seed {
+	if s.warmNext < len(s.warm) {
+		sd := s.warm[s.warmNext]
+		s.warmNext++
+		s.pickCount++
+		// Replay under the campaign's own variant; the compatibility
+		// fingerprint makes this a no-op for store-resolved warm sets.
+		sd.Variant = s.f.opts.Variant
+		return sd
+	}
 	if s.f.opts.UseCoverageFeedback && len(s.corpus) > 0 && s.pickCount%2 == 0 {
 		s.pickCount++
 		base := s.corpus[s.pickCount/2%len(s.corpus)]
@@ -728,18 +904,22 @@ func (s *shard) nextSeed() gen.Seed {
 	return sd
 }
 
-func (s *shard) feedback(seed gen.Seed, newPoints int, taintGain bool) {
+// feedback folds one measured iteration into the shard's running gain
+// average and reports whether the seed was kept for the corpus.
+func (s *shard) feedback(seed gen.Seed, newPoints int, taintGain bool) bool {
 	s.gainCount++
 	s.avgGain += (float64(newPoints) - s.avgGain) / float64(s.gainCount)
 	if !s.f.opts.UseCoverageFeedback {
-		return
+		return false
 	}
 	// Keep seeds whose coverage gain beats the running average (the paper's
 	// "less than the average increase -> mutate / discard" rule).
 	if taintGain && float64(newPoints) >= s.avgGain {
 		s.corpus = append(s.corpus, seed)
 		s.newSeeds = append(s.newSeeds, seed)
+		return true
 	}
+	return false
 }
 
 // runIteration executes one fuzzing iteration through the target pipeline
@@ -753,8 +933,9 @@ func (s *shard) runIteration(iter int) IterStat {
 	stat.TaintGain = out.TaintGain
 	stat.NewPoints = out.NewPoints
 	stat.Sims = out.Sims
+	kept := false
 	if out.Measured {
-		s.feedback(seed, out.NewPoints, out.TaintGain)
+		kept = s.feedback(seed, out.NewPoints, out.TaintGain)
 	}
 	if out.Finding != nil {
 		finding := *out.Finding
@@ -763,6 +944,16 @@ func (s *shard) runIteration(iter int) IterStat {
 		s.findings = append(s.findings, finding)
 	} else if out.DeadSinksOnly {
 		s.deadSinks++
+	}
+	// Corpus-worthy observations — coverage keepers and finding producers —
+	// are surfaced to the barrier's harvest for cross-campaign persistence.
+	if kept || stat.Finding {
+		s.harvest = append(s.harvest, HarvestedSeed{
+			Iteration: iter,
+			Seed:      seed,
+			NewPoints: out.NewPoints,
+			Finding:   stat.Finding,
+		})
 	}
 	return stat
 }
@@ -827,6 +1018,7 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 			s.cov = f.coverage.NewDelta()
 			s.findings = s.findings[:0]
 			s.deadSinks = 0
+			s.harvest = s.harvest[:0]
 		}
 
 		// Workers drain whole shards; shard state stays single-owner and the
@@ -857,10 +1049,12 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 
 		// Barrier: merge in fixed shard order.
 		var epochFindings []Finding
+		var epochHarvest []HarvestedSeed
 		for _, s := range f.shards {
 			f.coverage.Absorb(s.cov)
 			f.corpus = append(f.corpus, s.newSeeds...)
 			epochFindings = append(epochFindings, s.findings...)
+			epochHarvest = append(epochHarvest, s.harvest...)
 			f.deadSinks += s.deadSinks
 		}
 		if len(f.corpus) > corpusCap {
@@ -869,6 +1063,10 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 		// At most one finding per iteration, so iteration order is total.
 		sort.Slice(epochFindings, func(i, j int) bool {
 			return epochFindings[i].Iteration < epochFindings[j].Iteration
+		})
+		// At most one harvest record per iteration, for the same reason.
+		sort.Slice(epochHarvest, func(i, j int) bool {
+			return epochHarvest[i].Iteration < epochHarvest[j].Iteration
 		})
 		f.findings = append(f.findings, epochFindings...)
 		merged := f.coverage.Count()
@@ -917,6 +1115,7 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, *EngineState) {
 				Coverage:  merged,
 				Findings:  epochFindings,
 				Scenarios: f.scenarioStats(),
+				Harvest:   epochHarvest,
 				snapshot:  func() *EngineState { return f.snapshot(nextIter, nextEpoch) },
 			})
 		}

@@ -25,7 +25,13 @@ func mutateField(t *testing.T, base Options, i int) Options {
 	case reflect.String:
 		mv.SetString(mv.String() + "-mutated")
 	case reflect.Slice:
-		mv.Set(reflect.ValueOf([]string{"zzz-synthetic-family"}))
+		if mv.Type().Elem().Kind() == reflect.String {
+			mv.Set(reflect.ValueOf([]string{"zzz-synthetic-family"}))
+		} else {
+			// Struct-element slices (warm seeds, frontier prior): a single
+			// zero-valued element differs from the normalized nil baseline.
+			mv.Set(reflect.MakeSlice(mv.Type(), 1, 1))
+		}
 	case reflect.Func:
 		mv.Set(reflect.MakeFunc(mv.Type(), func(args []reflect.Value) []reflect.Value {
 			return nil

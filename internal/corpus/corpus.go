@@ -1,0 +1,485 @@
+// Package corpus is the persistent cross-campaign corpus service: it
+// harvests interesting seeds (coverage keepers and finding producers) from
+// campaign merge barriers, keys them by target and engine-compatibility
+// fingerprint, minimizes them in the background with the engine's training
+// reduction, and resolves deterministic warm-start sets for future
+// campaigns on the same target.
+//
+// Persistence is a compacted snapshot (corpus.json, replaced atomically)
+// plus an append-only redo journal (journal.ndjson) of full post-operation
+// entry states. Every mutation appends a journal record before it is
+// acknowledged; Open replays the journal over the snapshot and folds it
+// back into a fresh snapshot. A crash mid-append leaves at most one torn
+// trailing line, which replay discards; because harvests are idempotent
+// per (campaign, iteration), replaying a suffix of already-applied records
+// never double-counts.
+//
+// The store itself is deliberately outside the engine's determinism
+// boundary — it may observe wall-clock time and use maps freely — but
+// everything it hands back to a campaign (snapshot IDs, warm-start sets,
+// frontier priors) is a pure function of store content and the requesting
+// campaign's seed, which is what lets warm-started campaigns keep the
+// engine's byte-identity guarantees.
+package corpus
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"dejavuzz/internal/atomicfile"
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+)
+
+const (
+	// storeVersion guards the corpus.json format.
+	storeVersion = 1
+	snapshotFile = "corpus.json"
+	journalFile  = "journal.ndjson"
+	// compactAfter bounds journal growth: once this many records accumulate
+	// the journal folds into a fresh corpus.json and truncates.
+	compactAfter = 512
+	// classCap bounds entries per (target, fingerprint) class; the worst
+	// entries (fewest findings, least coverage gain) are evicted first.
+	classCap = 1024
+	// historyCap bounds the retained frontier history used by the
+	// /corpus/frontier?since= diff endpoint.
+	historyCap = 64
+)
+
+// DefaultWarmStartMax is the default warm-start set size. It is well under
+// the engine's merged-corpus cap so warm seeds never crowd out a
+// campaign's own discoveries.
+const DefaultWarmStartMax = 32
+
+// Entry is one persisted corpus seed with its provenance and accumulated
+// evidence. The ID is a content hash of (target, seed), so the same
+// stimulus harvested by different campaigns folds into one entry.
+type Entry struct {
+	ID          string   `json:"id"`
+	Target      string   `json:"target"`
+	Scenario    string   `json:"scenario"`
+	Fingerprint string   `json:"fingerprint"`
+	Seed        gen.Seed `json:"seed"`
+
+	// BestPoints is the largest single-iteration coverage gain observed;
+	// Points accumulates gain across all observations. Harvests counts
+	// distinct (campaign, iteration) observations and Findings those that
+	// produced a finding.
+	BestPoints int `json:"best_points"`
+	Points     int `json:"points"`
+	Harvests   int `json:"harvests"`
+	Findings   int `json:"findings"`
+
+	// FirstCampaign/FirstIteration locate the harvest that created the
+	// entry — the provenance link the triage store records on bugs.
+	FirstCampaign  string `json:"first_campaign"`
+	FirstIteration int    `json:"first_iteration"`
+	// Seen is the sorted set of "campaign#iteration" observation keys; it
+	// is what makes re-harvest (barrier replay after an unclean restart,
+	// journal replay on open) idempotent.
+	Seen []string `json:"seen,omitempty"`
+
+	// Minimizer output: once the background minimizer has run the engine's
+	// training reduction over the seed, TrainKept of TrainTotal trigger
+	// training packets survived. MinimizeError records a reducer failure
+	// (the entry still counts as visited so the minimizer moves on).
+	Minimized     bool   `json:"minimized,omitempty"`
+	MinimizeError string `json:"minimize_error,omitempty"`
+	TrainKept     int    `json:"train_kept,omitempty"`
+	TrainTotal    int    `json:"train_total,omitempty"`
+}
+
+// EntryID is the content hash identifying a (target, seed) pair in the
+// store. Exported so the triage store can link bug examples to corpus
+// entries without holding a store handle.
+func EntryID(target string, seed gen.Seed) string {
+	enc, err := json.Marshal(seed)
+	if err != nil {
+		// gen.Seed is a flat struct of scalars; Marshal cannot fail on it.
+		panic(fmt.Sprintf("corpus: seed unencodable: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(target))
+	h.Write([]byte{0})
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// storeFile is the corpus.json serialisation: entries sorted by ID plus
+// the bounded frontier history, so a compacted store round-trips
+// byte-identically.
+type storeFile struct {
+	Version int        `json:"version"`
+	Entries []Entry    `json:"entries"`
+	History []Frontier `json:"history,omitempty"`
+}
+
+// journalRec is one redo-journal line: a full post-operation entry state
+// ("put") or an eviction ("del"). Carrying the whole entry makes replay a
+// plain upsert — order is the only thing that matters.
+type journalRec struct {
+	Op    string `json:"op"`
+	ID    string `json:"id,omitempty"`
+	Entry *Entry `json:"entry,omitempty"`
+}
+
+// Store is a corpus database rooted at one directory. All methods are safe
+// for concurrent use; the background minimizer (see StartMinimizer) runs
+// the expensive reduction outside the lock.
+type Store struct {
+	dir string
+
+	mu         sync.Mutex
+	entries    map[string]*Entry
+	history    []Frontier
+	journal    *os.File
+	journalLen int
+
+	minStop chan struct{}
+	minDone chan struct{}
+}
+
+// Open loads (or creates) the corpus store in dir: snapshot, journal
+// replay with torn-tail tolerance, then an immediate compaction so debris
+// from a previous crash is folded away.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	st := &Store{dir: dir, entries: make(map[string]*Entry)}
+	if err := st.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	replayed, err := st.replayJournal()
+	if err != nil {
+		return nil, err
+	}
+	st.journalLen = replayed
+	if replayed > 0 {
+		if err := st.compactLocked(); err != nil {
+			return nil, err
+		}
+	}
+	j, err := os.OpenFile(st.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	st.journal = j
+	return st, nil
+}
+
+func (st *Store) snapshotPath() string { return filepath.Join(st.dir, snapshotFile) }
+func (st *Store) journalPath() string  { return filepath.Join(st.dir, journalFile) }
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) loadSnapshot() error {
+	data, err := os.ReadFile(st.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("corpus: %s corrupt: %w", snapshotFile, err)
+	}
+	if f.Version != storeVersion {
+		return fmt.Errorf("corpus: %s has version %d, want %d", snapshotFile, f.Version, storeVersion)
+	}
+	for i := range f.Entries {
+		e := f.Entries[i]
+		st.entries[e.ID] = &e
+	}
+	st.history = f.History
+	return nil
+}
+
+// replayJournal applies the redo journal over the loaded snapshot. A torn
+// final line — the only debris a crashed append can leave — is discarded;
+// an undecodable line anywhere else means real corruption and is an error.
+func (st *Store) replayJournal() (int, error) {
+	f, err := os.Open(st.journalPath())
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	applied := 0
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the tail: the journal is corrupt, not torn.
+			return 0, pendingErr
+		}
+		var rec journalRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("corpus: %s corrupt: %w", journalFile, err)
+			continue
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Entry == nil || rec.Entry.ID == "" {
+				pendingErr = fmt.Errorf("corpus: %s corrupt: put without entry", journalFile)
+				continue
+			}
+			e := *rec.Entry
+			st.entries[e.ID] = &e
+		case "del":
+			delete(st.entries, rec.ID)
+		default:
+			pendingErr = fmt.Errorf("corpus: %s corrupt: unknown op %q", journalFile, rec.Op)
+			continue
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("corpus: %w", err)
+	}
+	return applied, nil
+}
+
+// sortedEntries returns copies of all entries, sorted by ID.
+func (st *Store) sortedEntriesLocked() []Entry {
+	out := make([]Entry, 0, len(st.entries))
+	for _, e := range st.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// compactLocked folds the current state into corpus.json atomically and
+// truncates the journal. Crash windows are safe at every point: the old
+// journal replays idempotently over either snapshot generation.
+func (st *Store) compactLocked() error {
+	f := storeFile{Version: storeVersion, Entries: st.sortedEntriesLocked(), History: st.history}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := atomicfile.Write(st.snapshotPath(), append(data, '\n')); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if st.journal != nil {
+		if err := st.journal.Truncate(0); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+		if _, err := st.journal.Seek(0, 0); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	} else if err := os.WriteFile(st.journalPath(), nil, 0o644); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	st.journalLen = 0
+	return nil
+}
+
+func (st *Store) appendJournalLocked(rec journalRec) error {
+	if st.journal == nil {
+		return nil // replay/compaction phase of Open
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if _, err := st.journal.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	st.journalLen++
+	if st.journalLen >= compactAfter {
+		return st.compactLocked()
+	}
+	return nil
+}
+
+// Harvest folds one barrier's worth of interesting seeds from a campaign
+// into the store and returns how many observations were new. The
+// (campaign, iteration) pair is the idempotency key: replaying a barrier —
+// resumed campaigns re-emit nothing, but an uncleanly restarted server may
+// re-drain events — never double-counts.
+func (st *Store) Harvest(campaign, target, fingerprint string, batch []core.HarvestedSeed) (int, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	added := 0
+	touched := make(map[string]bool)
+	for _, h := range batch {
+		id := EntryID(target, h.Seed)
+		key := campaign + "#" + strconv.Itoa(h.Iteration)
+		e := st.entries[id]
+		if e == nil {
+			e = &Entry{
+				ID:             id,
+				Target:         target,
+				Scenario:       gen.ScenarioName(h.Seed),
+				Fingerprint:    fingerprint,
+				Seed:           h.Seed,
+				FirstCampaign:  campaign,
+				FirstIteration: h.Iteration,
+			}
+			st.entries[id] = e
+		}
+		i := sort.SearchStrings(e.Seen, key)
+		if i < len(e.Seen) && e.Seen[i] == key {
+			continue // already observed: idempotent re-harvest
+		}
+		e.Seen = append(e.Seen, "")
+		copy(e.Seen[i+1:], e.Seen[i:])
+		e.Seen[i] = key
+		e.Harvests++
+		e.Points += h.NewPoints
+		if h.NewPoints > e.BestPoints {
+			e.BestPoints = h.NewPoints
+		}
+		if h.Finding {
+			e.Findings++
+		}
+		added++
+		touched[id] = true
+	}
+	ids := make([]string, 0, len(touched))
+	for id := range touched {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cp := *st.entries[id]
+		if err := st.appendJournalLocked(journalRec{Op: "put", Entry: &cp}); err != nil {
+			return added, err
+		}
+	}
+	if err := st.evictLocked(target, fingerprint); err != nil {
+		return added, err
+	}
+	if added > 0 {
+		st.recordFrontierLocked()
+	}
+	return added, nil
+}
+
+// evictLocked enforces classCap for one (target, fingerprint) class,
+// evicting the lowest-evidence entries first.
+func (st *Store) evictLocked(target, fingerprint string) error {
+	var class []*Entry
+	for _, e := range st.entries {
+		if e.Target == target && e.Fingerprint == fingerprint {
+			class = append(class, e)
+		}
+	}
+	if len(class) <= classCap {
+		return nil
+	}
+	sort.Slice(class, func(i, j int) bool { return entryWorse(class[i], class[j]) })
+	for _, e := range class[:len(class)-classCap] {
+		delete(st.entries, e.ID)
+		if err := st.appendJournalLocked(journalRec{Op: "del", ID: e.ID}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// entryWorse orders entries by ascending evidence (for eviction).
+func entryWorse(a, b *Entry) bool {
+	if a.Findings != b.Findings {
+		return a.Findings < b.Findings
+	}
+	if a.BestPoints != b.BestPoints {
+		return a.BestPoints < b.BestPoints
+	}
+	if a.Points != b.Points {
+		return a.Points < b.Points
+	}
+	return a.ID > b.ID
+}
+
+// entryBetter orders entries by descending evidence (for warm-start
+// selection); it is the strict inverse of entryWorse, with ID ascending as
+// the final tiebreak so the order is total and deterministic.
+func entryBetter(a, b *Entry) bool {
+	if a.Findings != b.Findings {
+		return a.Findings > b.Findings
+	}
+	if a.BestPoints != b.BestPoints {
+		return a.BestPoints > b.BestPoints
+	}
+	if a.Points != b.Points {
+		return a.Points > b.Points
+	}
+	return a.ID < b.ID
+}
+
+// List returns entry copies sorted by ID, optionally filtered by target
+// and scenario family.
+func (st *Store) List(target, scenarioFamily string) []Entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	all := st.sortedEntriesLocked()
+	if target == "" && scenarioFamily == "" {
+		return all
+	}
+	out := all[:0]
+	for _, e := range all {
+		if target != "" && e.Target != target {
+			continue
+		}
+		if scenarioFamily != "" && e.Scenario != scenarioFamily {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the number of entries in the store.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// Close stops the background minimizer (if running) and releases the
+// journal handle after a final compaction.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	stop, done := st.minStop, st.minDone
+	st.minStop, st.minDone = nil, nil
+	st.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	err := st.compactLocked()
+	if cerr := st.journal.Close(); err == nil {
+		err = cerr
+	}
+	st.journal = nil
+	return err
+}

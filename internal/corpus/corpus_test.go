@@ -1,0 +1,334 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+)
+
+// testBatch builds n distinct harvested seeds with deterministic evidence.
+func testBatch(n, iterBase int) []core.HarvestedSeed {
+	out := make([]core.HarvestedSeed, n)
+	for i := range out {
+		out[i] = core.HarvestedSeed{
+			Iteration: iterBase + i,
+			Seed:      gen.Seed{Scenario: "spectre-btb-v2a", Rand: int64(1000 + iterBase + i), WindowLen: i},
+			NewPoints: i + 1,
+			Finding:   i%3 == 0,
+		}
+	}
+	return out
+}
+
+func TestHarvestIdempotent(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	batch := testBatch(5, 0)
+	added, err := st.Harvest("c1", "boom", "fp-test", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 {
+		t.Fatalf("first harvest added %d, want 5", added)
+	}
+	// Replaying the exact same (campaign, iteration) batch — the unclean-
+	// restart re-drain case — must be a complete no-op.
+	added, err = st.Harvest("c1", "boom", "fp-test", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("replayed harvest added %d, want 0", added)
+	}
+	entries := st.List("boom", "")
+	if len(entries) != 5 {
+		t.Fatalf("store has %d entries, want 5", len(entries))
+	}
+	for _, e := range entries {
+		if e.Harvests != 1 {
+			t.Errorf("entry %s: Harvests = %d after replay, want 1", e.ID, e.Harvests)
+		}
+	}
+	// The same seeds from a different campaign are new observations of the
+	// same entries, not new entries.
+	added, err = st.Harvest("c2", "boom", "fp-test", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 {
+		t.Fatalf("second-campaign harvest added %d, want 5", added)
+	}
+	if n := st.Len(); n != 5 {
+		t.Fatalf("store has %d entries after cross-campaign fold, want 5", n)
+	}
+}
+
+func TestOpenRecoversTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Harvest("c1", "boom", "fp-test", testBatch(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	want := st.List("", "")
+
+	// Simulate a crash mid-append: copy the live journal (Close would
+	// compact it away) and add a torn trailing line — the only debris an
+	// interrupted journal write can leave.
+	journal, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journal) == 0 {
+		t.Fatal("expected a non-empty journal before compaction")
+	}
+	crashDir := t.TempDir()
+	torn := append(append([]byte(nil), journal...), []byte(`{"op":"put","entry":{"id":"dead`)...)
+	if err := os.WriteFile(filepath.Join(crashDir, journalFile), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(crashDir)
+	if err != nil {
+		t.Fatalf("Open with torn journal tail: %v", err)
+	}
+	defer re.Close()
+	got := re.List("", "")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered entries differ:\n got %+v\nwant %+v", got, want)
+	}
+	// Open folds the replayed journal into a fresh snapshot immediately, so
+	// the crash debris is gone from disk too.
+	if data, err := os.ReadFile(filepath.Join(crashDir, journalFile)); err != nil || len(data) != 0 {
+		t.Fatalf("journal not truncated after recovery compaction: len=%d err=%v", len(data), err)
+	}
+	if _, err := os.Stat(filepath.Join(crashDir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot missing after recovery compaction: %v", err)
+	}
+}
+
+func TestOpenRejectsMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	good, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.Harvest("c1", "boom", "fp-test", testBatch(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	journal, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Close()
+
+	// A garbage line that is NOT the tail means real corruption, not a torn
+	// append; Open must refuse rather than silently drop records.
+	corruptDir := t.TempDir()
+	corrupt := append([]byte("not json\n"), journal...)
+	if err := os.WriteFile(filepath.Join(corruptDir, journalFile), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(corruptDir); err == nil {
+		t.Fatal("Open accepted a journal with mid-file corruption")
+	}
+}
+
+func TestReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Harvest("c1", "boom", "fp-test", testBatch(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	want := st.List("", "")
+	wantFrontier := st.Frontier()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.List("", ""); !reflect.DeepEqual(got, want) {
+		t.Fatalf("entries changed across reopen:\n got %+v\nwant %+v", got, want)
+	}
+	if got := re.Frontier(); got.ID != wantFrontier.ID {
+		t.Fatalf("frontier ID changed across reopen: got %s want %s", got.ID, wantFrontier.ID)
+	}
+}
+
+func TestConcurrentHarvestAndMinimize(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stub reducer keeps the race surface (store lock vs minimizer
+	// bookkeeping) without paying for real engine reductions.
+	st.StartMinimizer(func(target string, seed gen.Seed) (int, int, error) {
+		return 1, 2, nil
+	}, 0)
+
+	const campaigns, batches = 4, 8
+	var wg sync.WaitGroup
+	for c := 0; c < campaigns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%d", c)
+			for b := 0; b < batches; b++ {
+				if _, err := st.Harvest(id, "boom", "fp-test", testBatch(4, b*4)); err != nil {
+					t.Errorf("harvest %s batch %d: %v", id, b, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All campaigns harvested the same 32 distinct seeds.
+	re, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.Len(); n != 32 {
+		t.Fatalf("store has %d entries, want 32", n)
+	}
+	for _, e := range re.List("", "") {
+		if e.Harvests != campaigns {
+			t.Errorf("entry %s: Harvests = %d, want %d", e.ID, e.Harvests, campaigns)
+		}
+		if e.Minimized && (e.TrainKept != 1 || e.TrainTotal != 2) {
+			t.Errorf("entry %s: minimizer recorded %d/%d, want 1/2", e.ID, e.TrainKept, e.TrainTotal)
+		}
+	}
+}
+
+func TestWarmStartPureFunctionOfSnapshot(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	stA, err := Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	stB, err := Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+
+	batch := testBatch(10, 0)
+	if _, err := stA.Harvest("c1", "boom", "fp-test", batch); err != nil {
+		t.Fatal(err)
+	}
+	// Store B absorbs the same seeds from a different campaign in a
+	// different batch split: same content, different history.
+	if _, err := stB.Harvest("other", "boom", "fp-test", batch[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stB.Harvest("other", "boom", "fp-test", batch[:5]); err != nil {
+		t.Fatal(err)
+	}
+
+	wsA := stA.WarmStart("boom", "fp-test", nil, 42, 0)
+	wsB := stB.WarmStart("boom", "fp-test", nil, 42, 0)
+	if wsA.Snapshot != wsB.Snapshot {
+		t.Fatalf("same content, different snapshot IDs: %s vs %s", wsA.Snapshot, wsB.Snapshot)
+	}
+	if !reflect.DeepEqual(wsA.Seeds, wsB.Seeds) {
+		t.Fatal("same snapshot and campaign seed resolved different warm seed orders")
+	}
+	// Same store, same campaign seed: identical resolution every time.
+	if again := stA.WarmStart("boom", "fp-test", nil, 42, 0); !reflect.DeepEqual(again, wsA) {
+		t.Fatal("re-resolving the same warm start changed the result")
+	}
+	// A different campaign seed keeps the set but may reorder it.
+	other := stA.WarmStart("boom", "fp-test", nil, 43, 0)
+	if other.Snapshot != wsA.Snapshot {
+		t.Fatal("campaign seed changed the snapshot ID")
+	}
+	if len(other.Seeds) != len(wsA.Seeds) {
+		t.Fatalf("campaign seed changed the selection size: %d vs %d", len(other.Seeds), len(wsA.Seeds))
+	}
+	if !reflect.DeepEqual(other.Prior, wsA.Prior) {
+		t.Fatal("campaign seed changed the frontier prior")
+	}
+}
+
+func TestFrontierDiff(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if _, err := st.Harvest("c1", "boom", "fp-test", testBatch(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Frontier()
+
+	// No change yet: diffing against the current frontier is empty.
+	d, err := st.Diff(before.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed) != 0 || d.Current != before.ID {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+
+	if _, err := st.Harvest("c2", "boom", "fp-test", testBatch(5, 100)); err != nil {
+		t.Fatal(err)
+	}
+	d, err = st.Diff(before.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Current == before.ID || len(d.Changed) != 1 {
+		t.Fatalf("diff after growth: current=%s changed=%+v", d.Current, d.Changed)
+	}
+	row := d.Changed[0]
+	if row.Target != "boom" || row.Scenario != "spectre-btb-v2a" || row.Entries != 5 || row.Harvests != 5 {
+		t.Fatalf("unexpected delta row: %+v", row)
+	}
+
+	if _, err := st.Diff("fr-0000000000000000"); err == nil {
+		t.Fatal("Diff accepted an unknown frontier ID")
+	}
+}
+
+func TestEntryIDStable(t *testing.T) {
+	s := gen.Seed{Scenario: "spectre-btb-v2a", Rand: 7}
+	a, b := EntryID("boom", s), EntryID("boom", s)
+	if a != b {
+		t.Fatalf("EntryID not stable: %s vs %s", a, b)
+	}
+	if EntryID("xiangshan", s) == a {
+		t.Fatal("EntryID ignores the target")
+	}
+	s.Rand = 8
+	if EntryID("boom", s) == a {
+		t.Fatal("EntryID ignores the seed")
+	}
+}

@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dejavuzz/internal/core"
+	"dejavuzz/internal/gen"
+)
+
+// Reducer minimizes one corpus seed's training schedule, returning how
+// many trigger training packets survive of the original total. It runs on
+// the minimizer goroutine with no store lock held, so it may be slow.
+type Reducer func(target string, seed gen.Seed) (kept, total int, err error)
+
+// EngineReducer returns a Reducer backed by the engine's Step 1.2 training
+// reduction (Phase1): rebuild the seed's stimulus on a sequential
+// pipeline, then drop one training packet at a time and keep only the
+// packets the transient window still needs. One idle fuzzer is cached per
+// target; Phase1 is single-goroutine, so the cache is mutex-guarded.
+func EngineReducer() Reducer {
+	var mu sync.Mutex
+	fuzzers := map[string]*core.Fuzzer{}
+	return func(target string, seed gen.Seed) (int, int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		f := fuzzers[target]
+		if f == nil {
+			t, err := core.LookupTarget(target)
+			if err != nil {
+				return 0, 0, err
+			}
+			o := core.DefaultOptionsFor(t)
+			o.Iterations = 0 // reduction host only; never runs a campaign
+			f = core.NewFuzzer(o)
+			fuzzers[target] = f
+		}
+		res, err := f.Phase1(seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		kept := 0
+		for _, k := range res.Keep {
+			if k {
+				kept++
+			}
+		}
+		return kept, len(res.Keep), nil
+	}
+}
+
+// MinimizeOne runs the reducer over the first unminimized entry (by ID)
+// and records the result. It returns the entry ID and true when an entry
+// was processed, or "" and false when the store is fully minimized.
+// Reducer failures are recorded on the entry (MinimizeError) so the
+// minimizer never spins on a poisoned seed.
+func (st *Store) MinimizeOne(r Reducer) (string, bool) {
+	st.mu.Lock()
+	var pick *Entry
+	for _, e := range st.sortedEntriesLocked() {
+		if !e.Minimized {
+			cp := e
+			pick = &cp
+			break
+		}
+	}
+	st.mu.Unlock()
+	if pick == nil {
+		return "", false
+	}
+
+	kept, total, err := r(pick.Target, pick.Seed)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entries[pick.ID]
+	if e == nil {
+		// Evicted while we were reducing; nothing to record.
+		return pick.ID, true
+	}
+	e.Minimized = true
+	if err != nil {
+		e.MinimizeError = err.Error()
+	} else {
+		e.TrainKept, e.TrainTotal = kept, total
+	}
+	cp := *e
+	if jerr := st.appendJournalLocked(journalRec{Op: "put", Entry: &cp}); jerr != nil {
+		// The in-memory state is updated; the journal write failure will
+		// surface again on the next mutation. Record and move on.
+		e.MinimizeError = fmt.Sprintf("journal: %v", jerr)
+	}
+	st.recordFrontierLocked()
+	return pick.ID, true
+}
+
+// StartMinimizer launches the background minimizer: a single goroutine
+// that drains unminimized entries one at a time, sleeping idle between
+// scans once the store is fully minimized. It keeps the expensive
+// reduction entirely off the harvest path (harvests only take the store
+// lock for bookkeeping). Close stops it.
+func (st *Store) StartMinimizer(r Reducer, idle time.Duration) {
+	if idle <= 0 {
+		idle = time.Second
+	}
+	st.mu.Lock()
+	if st.minStop != nil {
+		st.mu.Unlock()
+		return // already running
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	st.minStop, st.minDone = stop, done
+	st.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := st.MinimizeOne(r); ok {
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(idle):
+			}
+		}
+	}()
+}

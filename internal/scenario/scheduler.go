@@ -82,6 +82,29 @@ type Weight struct {
 	Weight float64 `json:"weight"`
 }
 
+// Prior is one family's warm-start evidence: cross-campaign frontier
+// statistics a corpus store accumulated for the family, injected into a
+// fresh scheduler so it starts from what earlier campaigns on the same
+// target learned instead of from uniform ignorance. A Prior is
+// determinism-relevant input (it reshapes the pick stream), so the engine
+// serialises it with the campaign options and refuses resumes that change
+// it.
+type Prior struct {
+	Name     string `json:"name"`
+	Picks    int    `json:"picks"`
+	Points   int    `json:"points"`
+	Findings int    `json:"findings"`
+}
+
+// priorPickCap bounds how many equivalent picks of evidence a prior may
+// contribute per family. Frontier statistics can aggregate thousands of
+// harvests; injected raw they would drown the first dozens of epochs of
+// in-campaign evidence and crush the UCB exploration bonus. Capping the
+// pick mass (scaling points/findings proportionally, in integer
+// arithmetic so the seeding stays a pure function of the prior) keeps the
+// prior an informed starting point the campaign can override quickly.
+const priorPickCap = 16
+
 // FamilyState is one family's cumulative scheduler posterior — picks,
 // coverage points and findings since campaign start — plus its current
 // sampling weight. It is the serialisation unit of the scheduler state
@@ -167,6 +190,52 @@ func NewScheduler(families []string, policy Policy) (*Scheduler, error) {
 	}
 	for i := range s.weights {
 		s.weights[i] = 1.0
+	}
+	s.refresh()
+	return s, nil
+}
+
+// NewSchedulerWithPrior returns a fresh scheduler whose posterior is
+// seeded from cross-campaign frontier statistics (see Prior). Families
+// with prior evidence start tried — forced exploration only applies to
+// families no campaign has ever exercised — and their pick mass is capped
+// at priorPickCap so in-campaign evidence overtakes the prior within a few
+// epochs. Prior entries naming families outside the scheduler set are an
+// error: the caller (the warm-start resolver) filters the frontier to the
+// campaign's enabled families first, so a leftover name means the options
+// and the prior drifted apart. Checkpoint restore never goes through this
+// constructor — the checkpointed posterior already contains the prior's
+// contribution — so resume byte-identity is unaffected.
+func NewSchedulerWithPrior(families []string, policy Policy, prior []Prior) (*Scheduler, error) {
+	s, err := NewScheduler(families, policy)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prior {
+		idx := -1
+		for i, n := range s.names {
+			if n == p.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("scenario: prior names family %q outside the scheduler set", p.Name)
+		}
+		if p.Picks < 0 || p.Points < 0 || p.Findings < 0 {
+			return nil, fmt.Errorf("scenario: prior for family %q has negative counts", p.Name)
+		}
+		picks, points, findings := p.Picks, p.Points, p.Findings
+		if picks > priorPickCap {
+			// Integer scaling keeps the seeding a pure function of the prior.
+			points = points * priorPickCap / picks
+			findings = findings * priorPickCap / picks
+			picks = priorPickCap
+		}
+		s.picks[idx] += picks
+		s.points[idx] += points
+		s.findings[idx] += findings
+		s.total += picks
 	}
 	s.refresh()
 	return s, nil

@@ -5,16 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"dejavuzz"
+	"dejavuzz/internal/corpus"
 	"dejavuzz/internal/triage"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST /campaigns                create a campaign ({"name","options"})
-//	GET  /campaigns                list campaigns
+//	GET  /campaigns                list campaigns (paginated)
 //	GET  /campaigns/{id}           one campaign's status
 //	GET  /campaigns/{id}/events    live event stream (NDJSON; SSE with
 //	                               Accept: text/event-stream)
@@ -22,10 +24,18 @@ import (
 //	POST /campaigns/{id}/pause     checkpoint at the next barrier and park
 //	POST /campaigns/{id}/resume    re-queue a paused campaign
 //	POST /campaigns/{id}/cancel    terminally stop
-//	GET  /findings[?target=t][&scenario=s]  aggregated triage view (deduped bugs)
+//	GET  /findings[?target=t][&scenario=s]  aggregated triage view (deduped
+//	                               bugs; the bug list is paginated)
+//	GET  /corpus[?target=t][&scenario=s]    persistent corpus entries
+//	                               (paginated)
+//	GET  /corpus/frontier[?since=fr-...]    coverage frontier, or the diff
+//	                               against an earlier frontier ID
 //	GET  /scenarios                scenario-family catalog
 //	GET  /healthz                  liveness + campaign counts
 //	GET  /metrics                  Prometheus-style text metrics
+//
+// List endpoints marked paginated accept ?limit= and ?offset= over a stable
+// ordering and always set X-Total-Count to the pre-pagination size.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /campaigns", s.handleCreate)
@@ -37,10 +47,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns/{id}/resume", s.handleResume)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /findings", s.handleFindings)
+	mux.HandleFunc("GET /corpus", s.handleCorpus)
+	mux.HandleFunc("GET /corpus/frontier", s.handleFrontier)
 	mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// paginate applies the shared ?limit=&offset= convention to a list of n
+// items: it sets X-Total-Count to n and returns the [lo, hi) window to
+// serve. limit caps the page size (absent or negative means everything) and
+// offset skips from the start of the stable ordering; a window beyond the
+// end is an empty page, not an error. Malformed values write a 400 and
+// return ok=false.
+func paginate(w http.ResponseWriter, r *http.Request, n int) (lo, hi int, ok bool) {
+	q := r.URL.Query()
+	limit, offset := -1, 0
+	if v := q.Get("limit"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			writeErr(w, fmt.Errorf("invalid limit %q: want a non-negative integer", v))
+			return 0, 0, false
+		}
+		limit = p
+	}
+	if v := q.Get("offset"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			writeErr(w, fmt.Errorf("invalid offset %q: want a non-negative integer", v))
+			return 0, 0, false
+		}
+		offset = p
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(n))
+	lo = offset
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	if limit >= 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	return lo, hi, true
 }
 
 // errorBody is every non-2xx response.
@@ -95,9 +144,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	recs := s.List()
+	lo, hi, ok := paginate(w, r, len(recs))
+	if !ok {
+		return
+	}
+	page := recs[lo:hi]
+	if page == nil {
+		page = []Record{}
+	}
 	writeJSON(w, http.StatusOK, struct {
+		Total     int      `json:"total"`
 		Campaigns []Record `json:"campaigns"`
-	}{s.List()})
+	}{len(recs), page})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -251,10 +310,59 @@ type findingsResponse struct {
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	bugs, raw := s.Findings(q.Get("target"), q.Get("scenario"))
-	if bugs == nil {
-		bugs = []triage.Bug{}
+	lo, hi, ok := paginate(w, r, len(bugs))
+	if !ok {
+		return
 	}
-	writeJSON(w, http.StatusOK, findingsResponse{RawFindings: raw, BugCount: len(bugs), Bugs: bugs})
+	page := bugs[lo:hi]
+	if page == nil {
+		page = []triage.Bug{}
+	}
+	writeJSON(w, http.StatusOK, findingsResponse{RawFindings: raw, BugCount: len(bugs), Bugs: page})
+}
+
+// corpusResponse is the paginated persistent-corpus listing.
+type corpusResponse struct {
+	Total   int            `json:"total"`
+	Entries []corpus.Entry `json:"entries"`
+}
+
+// handleCorpus lists the persistent cross-campaign corpus, optionally
+// filtered by target and/or scenario family, paginated over the stable
+// entry-ID ordering.
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	entries := s.corpus.List(q.Get("target"), q.Get("scenario"))
+	lo, hi, ok := paginate(w, r, len(entries))
+	if !ok {
+		return
+	}
+	page := entries[lo:hi]
+	if page == nil {
+		page = []corpus.Entry{}
+	}
+	writeJSON(w, http.StatusOK, corpusResponse{Total: len(entries), Entries: page})
+}
+
+// handleFrontier serves the corpus coverage frontier. Without a query it
+// returns the current frontier (whose ID a client can hold on to); with
+// ?since=fr-... it returns the per-family deltas accumulated since that
+// frontier. An ID outside the retained history is a 404.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	since := r.URL.Query().Get("since")
+	if since == "" {
+		writeJSON(w, http.StatusOK, s.corpus.Frontier())
+		return
+	}
+	diff, err := s.corpus.Diff(since)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	if diff.Changed == nil {
+		diff.Changed = []corpus.FamilyDelta{}
+	}
+	writeJSON(w, http.StatusOK, diff)
 }
 
 // handleScenarios serves the scenario-family catalog: every registered
@@ -297,7 +405,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, r := range st.Running {
 			fmt.Fprintf(w, "dvz_campaign_iterations{id=%q} %d\n", r.ID, r.Done)
 		}
+		fmt.Fprintf(w, "# HELP dvz_campaign_events_dropped Per-campaign events dropped on best-effort subscriber buffers.\n")
+		for _, r := range st.Running {
+			fmt.Fprintf(w, "dvz_campaign_events_dropped{id=%q} %d\n", r.ID, r.Dropped)
+		}
 	}
 	fmt.Fprintf(w, "# HELP dvz_findings_raw_total Raw findings before triage.\ndvz_findings_raw_total %d\n", st.RawFindings)
 	fmt.Fprintf(w, "# HELP dvz_findings_bugs Deduplicated triaged bugs.\ndvz_findings_bugs %d\n", st.TriagedBugs)
+	fmt.Fprintf(w, "# HELP dvz_corpus_entries Persistent cross-campaign corpus entries.\ndvz_corpus_entries %d\n", st.CorpusEntries)
+	fmt.Fprintf(w, "# HELP dvz_events_dropped_total Events dropped on best-effort subscriber buffers, all sessions.\ndvz_events_dropped_total %d\n", st.DroppedEvents)
 }

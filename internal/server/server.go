@@ -28,6 +28,8 @@ import (
 
 	"dejavuzz"
 	"dejavuzz/internal/atomicfile"
+	"dejavuzz/internal/corpus"
+	"dejavuzz/internal/gen"
 	"dejavuzz/internal/triage"
 )
 
@@ -75,6 +77,12 @@ type Record struct {
 	// Findings counts raw (pre-triage) findings this campaign reported.
 	Findings int    `json:"findings"`
 	Error    string `json:"error,omitempty"`
+	// Warm is the warm-start set resolved from the corpus store when the
+	// campaign first launched with Options.WarmStart. It is pinned here so
+	// restarts and resumes replay the exact same set even after the corpus
+	// has grown — resolving anew would change the campaign's stimulus
+	// streams and fail the checkpoint's option-mismatch check.
+	Warm *corpus.WarmSet `json:"warm,omitempty"`
 }
 
 // Stop intents (Record.Stopping / campaign.stop).
@@ -128,6 +136,10 @@ type Config struct {
 	// (default 1). A campaign consumes min(its Workers option, budget)
 	// slots while running; campaigns that do not fit wait in FIFO order.
 	Workers int
+	// MinimizeCorpus starts the corpus store's background minimizer, which
+	// runs the engine's training reduction over harvested seeds one at a
+	// time, entirely off the campaign hot path.
+	MinimizeCorpus bool
 	// Log receives service logs; nil discards them.
 	Log *log.Logger
 }
@@ -138,6 +150,7 @@ type Server struct {
 	budget   int
 	log      *log.Logger
 	store    *triage.Store
+	corpus   *corpus.Store
 	started  time.Time
 
 	mu        sync.Mutex
@@ -146,6 +159,7 @@ type Server struct {
 	nextID    int
 	queue     []string // FIFO admission queue of campaign IDs
 	inUse     int      // worker slots held by running campaigns
+	dropped   int64    // best-effort subscriber drops from finished sessions
 	closed    bool
 	wg        sync.WaitGroup // live campaign goroutines
 }
@@ -173,15 +187,24 @@ func Open(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cst, err := corpus.Open(filepath.Join(cfg.StateDir, "corpus"))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MinimizeCorpus {
+		cst.StartMinimizer(corpus.EngineReducer(), time.Second)
+	}
 	s := &Server{
 		stateDir:  cfg.StateDir,
 		budget:    budget,
 		log:       logger,
 		store:     store,
+		corpus:    cst,
 		started:   time.Now(),
 		campaigns: make(map[string]*campaign),
 	}
 	if err := s.loadRegistry(); err != nil {
+		cst.Close()
 		return nil, err
 	}
 	s.mu.Lock()
@@ -339,7 +362,20 @@ func (s *Server) run(cs *campaign) {
 
 	id := cs.rec.ID
 	ckptPath := s.checkpointPath(id)
-	c, err := cs.rec.Options.Campaign(dejavuzz.WithCheckpointFile(ckptPath))
+	extra := []dejavuzz.Option{dejavuzz.WithCheckpointFile(ckptPath)}
+	if cs.rec.Options.WarmStart {
+		warm, err := s.warmFor(cs)
+		if err != nil {
+			s.finish(cs, nil, err)
+			return
+		}
+		extra = append(extra, dejavuzz.WithWarmStart(dejavuzz.WarmStart{
+			Snapshot: warm.Snapshot,
+			Seeds:    warm.Seeds,
+			Prior:    warm.Prior,
+		}))
+	}
+	c, err := cs.rec.Options.Campaign(extra...)
 	if err != nil {
 		s.finish(cs, nil, err)
 		return
@@ -389,9 +425,18 @@ func (s *Server) run(cs *campaign) {
 
 	target := cs.rec.Target
 	seed := cs.rec.Options.EffectiveSeed()
+	fp := fingerprintFor(cs.rec.Options)
 	for ev := range sess.Events() {
 		switch ev.Kind {
 		case dejavuzz.EventEpoch:
+			// Fold the barrier's harvest into the persistent corpus first:
+			// the (campaign, iteration) idempotency key means a barrier
+			// re-drained after an unclean restart cannot double-count.
+			if len(ev.Harvest) > 0 {
+				if _, err := s.corpus.Harvest(id, target, fp, ev.Harvest); err != nil {
+					s.log.Printf("campaign %s: corpus harvest: %v", id, err)
+				}
+			}
 			s.mu.Lock()
 			cs.rec.Done, cs.rec.Total, cs.rec.Coverage = ev.Done, ev.Total, ev.Coverage
 			if err := s.persistLocked(); err != nil {
@@ -419,6 +464,50 @@ func (s *Server) run(cs *campaign) {
 	s.finish(cs, rep, nil)
 }
 
+// fingerprintFor derives the corpus compatibility fingerprint a campaign's
+// options select: seeds only transfer between campaigns whose target,
+// training variant and bug configuration match.
+func fingerprintFor(o dejavuzz.Options) string {
+	variant := gen.VariantDerived
+	if o.Variant == dejavuzz.VariantNameRandom {
+		variant = gen.VariantRandom
+	}
+	return corpus.Fingerprint(o.EffectiveTarget(), variant, o.Bugless)
+}
+
+// warmFor returns a campaign's warm-start set, resolving it from the corpus
+// store on first launch and pinning the resolution in the persisted record.
+// Later launches (restart resume, pause/resume) reuse the pinned set: the
+// corpus may have grown since, but the campaign's stimulus streams — and
+// its checkpoint's corpus_snapshot option — are already committed to the
+// original snapshot.
+func (s *Server) warmFor(cs *campaign) (*corpus.WarmSet, error) {
+	s.mu.Lock()
+	warm := cs.rec.Warm
+	s.mu.Unlock()
+	if warm != nil {
+		return warm, nil
+	}
+	o := cs.rec.Options
+	families := o.Scenarios
+	if len(families) == 0 {
+		families = dejavuzz.Scenarios()
+	}
+	ws := s.corpus.WarmStart(o.EffectiveTarget(), fingerprintFor(o), families, o.EffectiveSeed(), 0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs.rec.Warm = &ws
+	if err := s.persistLocked(); err != nil {
+		// Without the pin on disk a restart would re-resolve against a
+		// grown corpus and break resume determinism; fail the launch.
+		cs.rec.Warm = nil
+		return nil, fmt.Errorf("pin warm-start: %w", err)
+	}
+	s.log.Printf("campaign %s: warm-start resolved (%s, %d seeds, %d prior families)",
+		cs.rec.ID, ws.Snapshot, len(ws.Seeds), len(ws.Prior))
+	return &ws, nil
+}
+
 // finish parks a campaign after its session (or launch attempt) ends:
 // records the outcome, releases worker slots and admits queued work.
 func (s *Server) finish(cs *campaign, rep *dejavuzz.Report, launchErr error) {
@@ -436,6 +525,11 @@ func (s *Server) finish(cs *campaign, rep *dejavuzz.Report, launchErr error) {
 	defer s.mu.Unlock()
 	s.inUse -= cs.workers
 	cs.workers = 0
+	if cs.sess != nil {
+		// Fold the session's best-effort subscriber drop count into the
+		// server-lifetime total before the session handle goes away.
+		s.dropped += cs.sess.DroppedEvents()
+	}
 	cs.sess = nil
 	cs.cancel = nil
 	stop := cs.stop
@@ -665,11 +759,13 @@ func (s *Server) Findings(target, scenario string) (bugs []triage.Bug, raw int) 
 }
 
 // CampaignRate is one running campaign's throughput gauge: iterations
-// completed since its session (re)started over the wall clock since then.
+// completed since its session (re)started over the wall clock since then,
+// plus the session's best-effort subscriber drop count.
 type CampaignRate struct {
 	ID          string
 	Done        int
 	ItersPerSec float64
+	Dropped     int64
 }
 
 // Stats is the service health/metrics snapshot.
@@ -682,6 +778,11 @@ type Stats struct {
 	Iterations    int // completed iterations across all campaigns
 	RawFindings   int
 	TriagedBugs   int
+	// CorpusEntries is the persistent cross-campaign corpus size.
+	CorpusEntries int
+	// DroppedEvents counts events dropped across all best-effort session
+	// subscriber buffers, live sessions plus finished ones.
+	DroppedEvents int64
 	// Running lists per-campaign throughput for currently running
 	// campaigns, ordered by campaign ID.
 	Running []CampaignRate
@@ -697,6 +798,7 @@ func (s *Server) Snapshot() Stats {
 		Queued:        len(s.queue),
 		ByState:       make(map[State]int),
 	}
+	st.DroppedEvents = s.dropped
 	for _, cs := range s.campaigns {
 		st.ByState[cs.rec.State]++
 		st.Iterations += cs.rec.Done
@@ -705,14 +807,20 @@ func (s *Server) Snapshot() Stats {
 			if elapsed := time.Since(cs.runStarted).Seconds(); elapsed > 0 {
 				rate = float64(cs.rec.Done-cs.startDone) / elapsed
 			}
+			dropped := int64(0)
+			if cs.sess != nil {
+				dropped = cs.sess.DroppedEvents()
+			}
+			st.DroppedEvents += dropped
 			st.Running = append(st.Running, CampaignRate{
-				ID: cs.rec.ID, Done: cs.rec.Done, ItersPerSec: rate,
+				ID: cs.rec.ID, Done: cs.rec.Done, ItersPerSec: rate, Dropped: dropped,
 			})
 		}
 	}
 	s.mu.Unlock()
 	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].ID < st.Running[j].ID })
 	st.RawFindings, st.TriagedBugs = s.store.Stats()
+	st.CorpusEntries = s.corpus.Len()
 	return st
 }
 
@@ -750,6 +858,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return ctx.Err()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.persistLocked()
+	err := s.persistLocked()
+	s.mu.Unlock()
+	// All campaign goroutines have parked, so no harvest is in flight:
+	// stop the minimizer and fold the corpus journal into its snapshot.
+	if cerr := s.corpus.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

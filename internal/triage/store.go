@@ -9,6 +9,7 @@ import (
 
 	"dejavuzz/internal/atomicfile"
 	"dejavuzz/internal/core"
+	"dejavuzz/internal/corpus"
 	"dejavuzz/internal/scenario"
 )
 
@@ -86,6 +87,12 @@ func Open(path string) (*Store, error) {
 			if err := migrateV1(&b); err != nil {
 				return nil, fmt.Errorf("triage: store %s: %w", path, err)
 			}
+		}
+		if b.CorpusEntry == "" {
+			// Stores written before the corpus-provenance field: the ID is a
+			// pure content hash of (target, example seed), so backfilling at
+			// load is exact.
+			b.CorpusEntry = corpus.EntryID(b.Target, b.Example.Seed)
 		}
 		s.bugs[b.Signature] = &b
 	}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"dejavuzz/internal/core"
+	"dejavuzz/internal/corpus"
 )
 
 // Signature identifies a triaged bug: the target name joined with the
@@ -57,6 +58,11 @@ type Bug struct {
 	// Example is the first finding observed for this signature (a concrete
 	// reproducer: its Seed regenerates the stimulus).
 	Example core.Finding `json:"example"`
+	// CorpusEntry is the persistent-corpus entry ID of the example's
+	// (target, seed) pair — the provenance link into dvz-server's
+	// GET /corpus listing. The ID is a pure content hash, so it is valid
+	// whether or not the corpus currently retains the entry.
+	CorpusEntry string `json:"corpus_entry,omitempty"`
 
 	// occurrences keys ("campaign#iteration") make recording idempotent.
 	occurrences map[string]bool
@@ -113,15 +119,16 @@ func insertInt64(s []int64, v int64) []int64 {
 func newBug(sig Signature, target string, f *core.Finding) *Bug {
 	in := f.SignatureInputs()
 	return &Bug{
-		Signature:  sig,
-		Target:     target,
-		Kind:       in[0],
-		AttackType: in[1],
-		Window:     in[2],
-		Scenario:   in[3],
-		Components: splitPlus(in[4]),
-		BugLabels:  splitPlus(in[5]),
-		Example:    *f,
+		Signature:   sig,
+		Target:      target,
+		Kind:        in[0],
+		AttackType:  in[1],
+		Window:      in[2],
+		Scenario:    in[3],
+		Components:  splitPlus(in[4]),
+		BugLabels:   splitPlus(in[5]),
+		Example:     *f,
+		CorpusEntry: corpus.EntryID(target, f.Seed),
 	}
 }
 

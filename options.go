@@ -129,6 +129,40 @@ func WithFreshContexts(on bool) Option {
 	return func(s *settings) { s.opts.FreshContexts = on }
 }
 
+// WarmStart is a resolved cross-campaign warm-start set, normally produced
+// by dvz-server's corpus store for the campaign's (target, options
+// fingerprint): the corpus snapshot it was resolved from, the seed set,
+// and the per-family frontier prior. The resolution is a pure function of
+// (snapshot content, campaign seed), so recording the three fields in the
+// campaign options preserves every determinism guarantee.
+type WarmStart struct {
+	// Snapshot is the corpus snapshot ID the set was resolved from. It is
+	// recorded in checkpoints; resuming a warm-started checkpoint under a
+	// different snapshot fails with an option-mismatch error naming
+	// corpus_snapshot.
+	Snapshot string
+	// Seeds become part of the campaign's initial corpus and are each
+	// replayed verbatim once before shards draw fresh stimuli.
+	Seeds []Seed
+	// Prior seeds the scenario scheduler's posterior with per-family
+	// frontier evidence (capped so in-campaign evidence overtakes it).
+	Prior []FamilyPrior
+}
+
+// WithWarmStart injects a warm-start set into the campaign. Every field is
+// determinism-relevant — the set reshapes the stimulus streams exactly
+// like WithScenarios does — so it is recorded in checkpoints and a resume
+// under a different warm-start fails with an option-mismatch error. Seed
+// families and prior families must belong to the campaign's enabled
+// scenario set; New validates this.
+func WithWarmStart(ws WarmStart) Option {
+	return func(s *settings) {
+		s.opts.CorpusSnapshot = ws.Snapshot
+		s.opts.WarmSeeds = append([]Seed(nil), ws.Seeds...)
+		s.opts.FrontierPrior = append([]FamilyPrior(nil), ws.Prior...)
+	}
+}
+
 // WithCheckpointFile enables session checkpoint autosave: merge barriers
 // atomically rewrite path with a resumable checkpoint (emitting a
 // CheckpointSaved event) — every barrier for short campaigns, throttled to

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Smoke-test the persistent cross-campaign corpus over real HTTP and a real
+# restart: run a cold donor campaign (its merge barriers feed the corpus),
+# SIGTERM the server (the corpus must compact and survive on disk), restart
+# over the same state directory, then run a warm-started campaign at HALF
+# the donor's iteration budget and assert it still reaches at least the
+# donor's final coverage — the measurable warm-start payoff — with the
+# resolved warm set pinned in the campaign record.
+set -euo pipefail
+
+ADDR="127.0.0.1:8473"
+BASE="http://$ADDR"
+STATE="$(mktemp -d)"
+BIN="$(mktemp -d)/dvz-server"
+SRV_PID=""
+
+cleanup() {
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+  rm -rf "$STATE" "$(dirname "$BIN")" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() { echo "SMOKE FAIL: $*" >&2; exit 1; }
+
+# jq-free field extraction: first "key":value (string or number) in stdin.
+field() { grep -o "\"$1\":[^,}]*" | head -n1 | sed -e "s/\"$1\"://" -e 's/"//g' -e 's/ //g'; }
+
+wait_healthy() {
+  for _ in $(seq 100); do
+    curl -fs "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "server never became healthy on $BASE"
+}
+
+wait_done() {
+  local id=$1 state=""
+  for _ in $(seq 600); do
+    state=$(curl -fs "$BASE/campaigns/$id" | field state)
+    [ "$state" = "done" ] && return 0
+    [ "$state" = "failed" ] && fail "campaign $id failed"
+    sleep 0.1
+  done
+  fail "campaign $id never finished (state=$state)"
+}
+
+coverage_of() {
+  # The record's "coverage" is the merged count as of the final barrier —
+  # same number as the report's, without pulling a multi-megabyte body.
+  curl -fs "$BASE/campaigns/$1" | field coverage
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/dvz-server
+
+echo "== start server (state=$STATE)"
+"$BIN" -addr "$ADDR" -state "$STATE" -workers 2 &
+SRV_PID=$!
+wait_healthy
+
+echo "== cold donor campaign (its barriers harvest into the corpus)"
+CREATE=$(curl -fs -X POST "$BASE/campaigns" \
+  -d '{"name":"donor","options":{"target":"boom","seed":7,"iterations":128,"merge_every":16}}')
+DONOR=$(echo "$CREATE" | field id)
+[ -n "$DONOR" ] || fail "create returned no id: $CREATE"
+wait_done "$DONOR"
+COLD_COV=$(coverage_of "$DONOR")
+[ "$COLD_COV" -gt 0 ] || fail "donor campaign collected no coverage"
+echo "   donor $DONOR finished, coverage=$COLD_COV"
+
+echo "== corpus holds the donor's harvest"
+CORPUS=$(curl -fs "$BASE/corpus?target=boom")
+HARVESTED=$(echo "$CORPUS" | field total)
+[ "$HARVESTED" -gt 0 ] || fail "corpus empty after donor campaign: $CORPUS"
+TOTAL_HDR=$(curl -fsi "$BASE/corpus?limit=1" | tr -d '\r' | grep -i '^X-Total-Count:' | awk '{print $2}')
+[ "$TOTAL_HDR" = "$HARVESTED" ] || fail "X-Total-Count=$TOTAL_HDR disagrees with total=$HARVESTED"
+curl -fs "$BASE/corpus/frontier" | grep -q '"fr-' || fail "/corpus/frontier returned no frontier ID"
+echo "   $HARVESTED corpus entries, paginated listing consistent"
+
+echo "== SIGTERM: corpus must compact and survive the restart"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero after SIGTERM"
+SRV_PID=""
+[ -s "$STATE/corpus/corpus.json" ] || fail "no compacted corpus snapshot on disk"
+
+echo "== restart server over the same state"
+"$BIN" -addr "$ADDR" -state "$STATE" -workers 2 &
+SRV_PID=$!
+wait_healthy
+AFTER=$(curl -fs "$BASE/corpus?target=boom" | field total)
+[ "$AFTER" = "$HARVESTED" ] || fail "corpus lost entries across restart: $AFTER != $HARVESTED"
+
+echo "== warm campaign at HALF the donor budget must still reach donor coverage"
+CREATE=$(curl -fs -X POST "$BASE/campaigns" \
+  -d '{"name":"warm","options":{"target":"boom","seed":8,"iterations":64,"merge_every":16,"warm_start":true}}')
+WARM=$(echo "$CREATE" | field id)
+[ -n "$WARM" ] || fail "warm create returned no id: $CREATE"
+wait_done "$WARM"
+REC=$(curl -fs "$BASE/campaigns/$WARM")
+echo "$REC" | grep -q '"snapshot": *"cs-' || fail "warm record has no pinned snapshot: $REC"
+WARM_COV=$(coverage_of "$WARM")
+echo "   warm $WARM finished, coverage=$WARM_COV (donor=$COLD_COV at 2x the iterations)"
+[ "$WARM_COV" -ge "$COLD_COV" ] \
+  || fail "warm campaign at half budget only reached $WARM_COV, donor reached $COLD_COV"
+
+echo "== graceful final shutdown"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero on final SIGTERM"
+SRV_PID=""
+
+echo "SMOKE OK: warm campaign hit coverage $WARM_COV >= donor $COLD_COV with half the iterations"

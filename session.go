@@ -8,6 +8,7 @@ import (
 
 	"dejavuzz/internal/atomicfile"
 	"dejavuzz/internal/core"
+	"dejavuzz/internal/scenario"
 )
 
 // ErrInterrupted is returned by Session.Wait when the session stopped at a
@@ -44,6 +45,13 @@ func New(target string, opts ...Option) (*Campaign, error) {
 		return nil, fmt.Errorf("dejavuzz: %w", err)
 	}
 	if err := core.ValidateSchedulerPolicy(s.opts.Scheduler); err != nil {
+		return nil, fmt.Errorf("dejavuzz: %w", err)
+	}
+	fams := s.opts.Scenarios
+	if len(fams) == 0 {
+		fams = scenario.Names()
+	}
+	if err := core.ValidateWarmStart(s.opts.WarmSeeds, s.opts.FrontierPrior, fams); err != nil {
 		return nil, fmt.Errorf("dejavuzz: %w", err)
 	}
 	if s.ckptPath != "" {
@@ -158,6 +166,12 @@ type Event struct {
 	// barrier that emitted the event (EventEpoch only).
 	Scenarios []ScenarioStat
 
+	// Harvest carries the barrier's corpus-worthy seeds — coverage-feedback
+	// keepers and finding producers, with their evidence — in iteration
+	// order (EventEpoch only). dvz-server's corpus store persists them
+	// across campaigns; other consumers may ignore the field.
+	Harvest []HarvestedSeed
+
 	// Finding is the merged finding (EventFinding).
 	Finding *Finding
 	// Path is the checkpoint file written (EventCheckpointSaved).
@@ -201,6 +215,13 @@ type Session struct {
 	subs       map[int]chan Event
 	nextSub    int
 	subsClosed bool
+	// subDropped counts events shed per best-effort subscriber buffer (see
+	// Subscribe: the engine never blocks on an observer); dropped is the
+	// session-lifetime total across all subscribers, including ones that
+	// have since unsubscribed. Guarded by subMu. /metrics exposes the
+	// counters so silent SSE loss under load is observable.
+	subDropped map[int]int64
+	dropped    int64
 }
 
 // defaultSubscriberBuffer is the Subscribe channel buffer when the caller
@@ -255,14 +276,29 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 // subscribers whose buffers are full (see Subscribe).
 func (s *Session) broadcast(ev Event) {
 	s.subMu.Lock()
-	//dvz:ordered each subscriber's own stream stays in emit order; which subscriber is offered the event first is unobservable (per-channel buffers are independent)
-	for _, ch := range s.subs {
+	//dvz:ordered each subscriber's own stream stays in emit order; which subscriber is offered the event first is unobservable (per-channel buffers are independent) and the drop counters are commutative increments
+	for id, ch := range s.subs {
 		select {
 		case ch <- ev:
 		default:
+			if s.subDropped == nil {
+				s.subDropped = make(map[int]int64)
+			}
+			s.subDropped[id]++
+			s.dropped++
 		}
 	}
 	s.subMu.Unlock()
+}
+
+// DroppedEvents reports how many events the session has shed across all
+// best-effort subscriber buffers over its lifetime (0 while every
+// subscriber keeps up). The primary Events channel is lossless and never
+// contributes here.
+func (s *Session) DroppedEvents() int64 {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.dropped
 }
 
 // closeSubs ends every subscription; later Subscribes get closed channels.
@@ -347,7 +383,7 @@ func (c *Campaign) launch(ctx context.Context, state *core.EngineState) (*Sessio
 				Done: b.Done, Total: b.Total, Coverage: b.Coverage})
 		}
 		s.emit(ctx, Event{Kind: EventEpoch, Done: b.Done, Total: b.Total, Coverage: b.Coverage,
-			Scenarios: b.Scenarios})
+			Scenarios: b.Scenarios, Harvest: b.Harvest})
 		if c.ckptPath != "" && (b.Epoch+1)%saveEvery == 0 {
 			ck := &Checkpoint{state: b.Snapshot()}
 			err := ck.Save(c.ckptPath)

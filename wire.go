@@ -64,6 +64,14 @@ type Options struct {
 	NoLiveness         bool
 	NoReduction        bool
 	Bugless            bool
+	// WarmStart asks dvz-server to seed the campaign from its persistent
+	// corpus: the server resolves a deterministic warm-start set (seeds +
+	// scheduler prior) for the campaign's target and records the resolution
+	// with the campaign, so restarts and resumes reuse it. The flag has no
+	// engine-side functional lowering — a corpus store must resolve it —
+	// which is why Functional ignores it; offline embedders use
+	// WithWarmStart directly.
+	WarmStart bool
 }
 
 // Variant wire names.
@@ -91,6 +99,7 @@ type wireOptions struct {
 	NoLiveness         bool     `json:"no_liveness,omitempty"`
 	NoReduction        bool     `json:"no_reduction,omitempty"`
 	Bugless            bool     `json:"bugless,omitempty"`
+	WarmStart          bool     `json:"warm_start,omitempty"`
 }
 
 // MarshalJSON encodes the options in wire form. "seed" and "iterations"
@@ -111,6 +120,7 @@ func (o Options) MarshalJSON() ([]byte, error) {
 		NoLiveness:         o.NoLiveness,
 		NoReduction:        o.NoReduction,
 		Bugless:            o.Bugless,
+		WarmStart:          o.WarmStart,
 	}
 	if o.SeedSet || o.Seed != 0 {
 		seed := o.Seed
@@ -157,6 +167,7 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 		NoLiveness:         w.NoLiveness,
 		NoReduction:        w.NoReduction,
 		Bugless:            w.Bugless,
+		WarmStart:          w.WarmStart,
 	}
 	if w.Seed != nil {
 		o.Seed, o.SeedSet = *w.Seed, true
